@@ -1,0 +1,55 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fpsping/internal/core"
+)
+
+func TestScenarioFromModelTranslation(t *testing.T) {
+	m := core.DSLDefaults()
+	m.Gamers = 50
+	m.ServerPacketBytes = 125
+	m.BurstInterval = 0.060
+	m.ErlangOrder = 9
+	cfg, err := scenarioFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gamers != 50 {
+		t.Errorf("gamers = %d", cfg.Gamers)
+	}
+	if cfg.ClientSize.Mean() != 80 || cfg.ClientIAT.Mean() != 0.060 {
+		t.Errorf("client laws %v/%v", cfg.ClientSize.Mean(), cfg.ClientIAT.Mean())
+	}
+	// Burst total preserves the Erlang mean N*PS.
+	if math.Abs(cfg.BurstTotal.Mean()-50*125) > 1e-9 {
+		t.Errorf("burst mean %v", cfg.BurstTotal.Mean())
+	}
+	if cfg.UpRate != m.UplinkAccessRate || cfg.AggRate != m.AggregateRate {
+		t.Error("rates not forwarded")
+	}
+	if !cfg.ShuffleBurst {
+		t.Error("shuffle should be on (uniform position assumption)")
+	}
+	// Invalid model is rejected.
+	bad := m
+	bad.ErlangOrder = 0
+	if _, err := scenarioFromModel(bad); err == nil {
+		t.Error("accepted invalid model")
+	}
+}
+
+func TestWrap(t *testing.T) {
+	s := wrap(strings.Repeat("word ", 30), 40, "  ")
+	for _, line := range strings.Split(s, "\n") {
+		if len(line) > 46 {
+			t.Errorf("line too long: %q", line)
+		}
+	}
+	if wrap("", 10, "") != "" {
+		t.Error("empty wrap")
+	}
+}

@@ -1,0 +1,54 @@
+// Command gameclient runs one or more bot players against a game server
+// (optionally through the shaper) and prints measured ping statistics, the
+// way FPS players read the in-game ping (§1 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fpsping/internal/emu"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "server (or shaper) UDP address")
+	n := flag.Int("n", 1, "number of bot clients")
+	interval := flag.Float64("d", 40, "client update interval [ms]")
+	duration := flag.Float64("duration", 10, "measurement time [s]")
+	flag.Parse()
+
+	var clients []*emu.Client
+	for i := 0; i < *n; i++ {
+		c, err := emu.NewClient(emu.ClientConfig{
+			ServerAddr:     *addr,
+			UpdateInterval: time.Duration(*interval * float64(time.Millisecond)),
+			Seed:           uint64(100 + i),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gameclient:", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	fmt.Printf("%d bots joined %s, measuring for %.0fs...\n", *n, *addr, *duration)
+	time.Sleep(time.Duration(*duration * float64(time.Second)))
+
+	for i, c := range clients {
+		ps := c.Pings()
+		if ps.Samples == 0 {
+			fmt.Printf("bot %d (id %d): no pings measured\n", i, c.ID())
+			continue
+		}
+		line := fmt.Sprintf("bot %d (id %d): %d pings, mean %.2fms, min %.2fms, max %.2fms",
+			i, c.ID(), ps.Samples, 1e3*ps.Summary.Mean(), 1e3*ps.Summary.Min(), 1e3*ps.Summary.Max())
+		if q, err := c.PingQuantile(0.99); err == nil {
+			line += fmt.Sprintf(", p99 %.2fms", 1e3*q)
+		}
+		ss := c.Stream()
+		line += fmt.Sprintf(" | loss %.1f%%, jitter %.2fms", 100*ss.LossRatio, 1e3*ss.Jitter)
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,64 @@
+// Command gameserver runs the UDP game server of the emu package: it ticks
+// every -t milliseconds and sends each joined client one state packet per
+// tick, echoing client update timestamps so clients can measure their ping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/emu"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "UDP listen address")
+	tick := flag.Float64("t", 40, "tick interval [ms]")
+	size := flag.Float64("size", 125, "mean per-client state packet size [bytes]")
+	cov := flag.Float64("cov", 0.28, "packet size CoV (0 = deterministic)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var law dist.Distribution
+	if *cov > 0 {
+		l, err := dist.LogNormalByMoments(*size, *cov)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gameserver:", err)
+			os.Exit(1)
+		}
+		law = l
+	} else {
+		law = dist.NewDeterministic(*size)
+	}
+	srv, err := emu.NewServer(emu.ServerConfig{
+		Addr:         *addr,
+		TickInterval: time.Duration(*tick * float64(time.Millisecond)),
+		PacketSize:   law,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gameserver:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("gameserver listening on %s, tick %.0fms, size %s\n", srv.Addr(), *tick, law)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	status := time.NewTicker(5 * time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("\nshutting down: %d clients, %d ticks, %d updates received\n",
+				srv.Clients(), srv.Ticks, srv.PacketsIn)
+			return
+		case <-status.C:
+			fmt.Printf("clients=%d ticks=%d updates=%d\n", srv.Clients(), srv.Ticks, srv.PacketsIn)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command shaper relays UDP between game clients and a game server while
+// emulating the paper's access bottleneck: per-direction serialization
+// rates, a bounded queue and a fixed propagation delay. Point gameclient at
+// the shaper's address to play "through DSL".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpsping/internal/emu"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7788", "client-facing UDP address")
+	server := flag.String("server", "127.0.0.1:7777", "game server UDP address")
+	up := flag.Float64("up", 128, "upstream rate [kbit/s]")
+	down := flag.Float64("down", 1024, "downstream rate [kbit/s]")
+	delay := flag.Float64("delay", 5, "one-way propagation delay [ms]")
+	queue := flag.Int("queue", 64*1024, "per-direction queue limit [bytes]")
+	flag.Parse()
+
+	s, err := emu.NewShaper(emu.ShaperConfig{
+		ListenAddr: *listen,
+		ServerAddr: *server,
+		UpRate:     *up * 1000,
+		DownRate:   *down * 1000,
+		Delay:      time.Duration(*delay * float64(time.Millisecond)),
+		QueueLimit: *queue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shaper:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	fmt.Printf("shaper on %s -> %s (up %.0fk / down %.0fk, %.0fms delay)\n",
+		s.Addr(), *server, *up, *down, *delay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshaper stopped")
+}

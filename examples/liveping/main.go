@@ -1,0 +1,104 @@
+// Live ping: run the modeled system on real UDP sockets and compare the
+// measured in-game ping with the paper's prediction.
+//
+// A game server ticks every 40 ms on loopback; four bot clients connect
+// through a userspace shaper emulating the DSL path (128 kbit/s up,
+// 1024 kbit/s down, 5 ms one-way delay). The bots measure their ping the way
+// game clients do - from the server's echo of their update timestamps -
+// which includes the server's tick-wait on top of the two network delays the
+// model predicts (mean tick wait: T/2).
+//
+//	go run ./examples/liveping
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fpsping/internal/core"
+	"fpsping/internal/emu"
+)
+
+func main() {
+	const (
+		tick    = 40 * time.Millisecond
+		bots    = 4
+		measure = 8 * time.Second
+	)
+
+	srv, err := emu.NewServer(emu.ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: tick,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	shaper, err := emu.NewShaper(emu.ShaperConfig{
+		ListenAddr: "127.0.0.1:0",
+		ServerAddr: srv.Addr().String(),
+		UpRate:     128_000,
+		DownRate:   1_024_000,
+		Delay:      5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shaper.Close()
+
+	fmt.Printf("server %s, shaper %s; %d bots measuring for %v...\n",
+		srv.Addr(), shaper.Addr(), bots, measure)
+
+	var clients []*emu.Client
+	for i := 0; i < bots; i++ {
+		c, err := emu.NewClient(emu.ClientConfig{
+			ServerAddr:     shaper.Addr().String(),
+			UpdateInterval: tick,
+			Seed:           uint64(10 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	time.Sleep(measure)
+
+	var meanSum float64
+	var total int
+	for i, c := range clients {
+		ps := c.Pings()
+		fmt.Printf("bot %d: %4d pings, mean %6.2f ms, max %6.2f ms\n",
+			i, ps.Samples, 1e3*ps.Summary.Mean(), 1e3*ps.Summary.Max())
+		meanSum += ps.Summary.Mean() * float64(ps.Samples)
+		total += ps.Samples
+	}
+	if total == 0 {
+		log.Fatal("no pings measured")
+	}
+	measured := meanSum / float64(total)
+
+	// Model prediction: network mean RTT for 4 gamers on this path, plus the
+	// mean tick-wait T/2 that the in-game ping inherently contains, plus the
+	// 2x5ms shaper propagation.
+	m := core.DSLDefaults()
+	m.Gamers = bots
+	m.ServerPacketBytes = 125
+	m.BurstInterval = tick.Seconds()
+	m.ErlangOrder = 9
+	m.FixedDelay = 2 * 0.005
+	meanRTT, err := m.MeanRTT()
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted := meanRTT + tick.Seconds()/2
+
+	fmt.Printf("\nmeasured mean in-game ping: %6.2f ms\n", 1e3*measured)
+	fmt.Printf("model mean network RTT:     %6.2f ms\n", 1e3*meanRTT)
+	fmt.Printf("+ mean tick wait T/2:       %6.2f ms\n", 1e3*tick.Seconds()/2)
+	fmt.Printf("predicted in-game ping:     %6.2f ms\n", 1e3*predicted)
+	fmt.Println("\n(differences of a few ms reflect OS timer granularity and loopback scheduling)")
+}

@@ -1,0 +1,55 @@
+// Quickstart: predict the ping time of a DSL gaming scenario.
+//
+// The scenario is the paper's §4 default: 80-byte client updates every 40 ms
+// on a 128 kbit/s uplink, 125-byte server packets in Erlang(9) bursts, a
+// 5 Mbit/s aggregation link shared by 80 gamers. We ask: what ping will the
+// 99.999th percentile player see?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpsping/internal/core"
+)
+
+func main() {
+	m := core.DSLDefaults() // PC=80B, Rup=128k, Rdown=1024k, C=5M, q=99.999%
+	m.Gamers = 80
+	m.ServerPacketBytes = 125
+	m.BurstInterval = 0.040 // the server ticks 25 times a second
+	m.ErlangOrder = 9       // burst-size variability (Figure 1's tail fit)
+
+	rtt, err := m.RTTQuantile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, err := m.MeanRTT()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario: %s\n", m)
+	fmt.Printf("downlink load %.0f%%, uplink load %.0f%%\n",
+		100*m.DownlinkLoad(), 100*m.UplinkLoad())
+	fmt.Printf("mean ping           %6.1f ms\n", 1000*mean)
+	fmt.Printf("99.999%% ping        %6.1f ms\n", 1000*rtt)
+
+	// Where does the delay come from?
+	comp, err := m.Decompose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  serialization     %6.1f ms\n", 1000*comp.Serialization)
+	fmt.Printf("  upstream queue    %6.1f ms (isolated quantile)\n", 1000*comp.Upstream)
+	fmt.Printf("  burst wait        %6.1f ms (isolated quantile)\n", 1000*comp.BurstWait)
+	fmt.Printf("  in-burst position %6.1f ms (isolated quantile)\n", 1000*comp.Position)
+
+	// Would these 80 gamers enjoy "excellent game play" (ping <= 50 ms)?
+	if rtt <= 0.050 {
+		fmt.Println("verdict: ping within the 50 ms excellent-play bound")
+	} else {
+		fmt.Println("verdict: ping exceeds the 50 ms excellent-play bound")
+	}
+}

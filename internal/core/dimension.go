@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DimensioningResult reports how much gaming traffic an aggregation link can
+// carry under an RTT bound: the paper's §4 "dimensioning rule".
+type DimensioningResult struct {
+	// MaxDownlinkLoad is the largest rho_d keeping the RTT quantile within
+	// the bound.
+	MaxDownlinkLoad float64
+	// MaxGamers is Nmax = floor(rho_max * T * C / (8 * PS)), eq. (37)
+	// inverted.
+	MaxGamers int
+	// RTTAtMax is the RTT quantile at MaxDownlinkLoad.
+	RTTAtMax float64
+	// Bound echoes the RTT bound used.
+	Bound float64
+}
+
+// MaxLoad finds the largest downlink load whose RTT quantile stays within
+// rttBound, by bisection over the load (the quantile is monotone increasing
+// in load). The search respects both directions' stability limits: with
+// PS < PC the uplink saturates first (§4 notes the crossover at downlink
+// load PS/PC).
+func (m Model) MaxLoad(rttBound float64) (DimensioningResult, error) {
+	if !(rttBound > 0) {
+		return DimensioningResult{}, fmt.Errorf("%w: rtt bound %g", ErrBadModel, rttBound)
+	}
+	probe := m
+	probe.Gamers = 1
+	if err := probe.Validate(); err != nil {
+		return DimensioningResult{}, err
+	}
+	if m.FixedPart() >= rttBound {
+		return DimensioningResult{}, fmt.Errorf(
+			"core: fixed delay %.4gms alone exceeds the bound %.4gms",
+			1e3*m.FixedPart(), 1e3*rttBound)
+	}
+
+	// Stability ceiling on the downlink load: downlink itself (rho_d < 1)
+	// and the uplink, which reaches load 1 at rho_d = (PS/PC)*(D/T).
+	ceil := 1.0
+	if upCeil := (m.ServerPacketBytes / m.ClientPacketBytes) *
+		(m.clientInterval() / m.BurstInterval); upCeil < ceil {
+		ceil = upCeil
+	}
+	ceil -= 1e-6
+
+	rttAt := func(rho float64) (float64, error) {
+		return m.WithDownlinkLoad(rho).RTTQuantile()
+	}
+
+	lo := 1e-6
+	v, err := rttAt(lo)
+	if err != nil {
+		return DimensioningResult{}, err
+	}
+	if v > rttBound {
+		return DimensioningResult{}, fmt.Errorf(
+			"core: RTT %.4gms at vanishing load already exceeds bound %.4gms",
+			1e3*v, 1e3*rttBound)
+	}
+	hi := ceil
+	vhi, err := rttAt(hi)
+	if err != nil {
+		return DimensioningResult{}, err
+	}
+	if vhi <= rttBound {
+		// Bound never binds before instability.
+		res := m.WithDownlinkLoad(hi)
+		return DimensioningResult{
+			MaxDownlinkLoad: hi,
+			MaxGamers:       int(math.Floor(res.Gamers)),
+			RTTAtMax:        vhi,
+			Bound:           rttBound,
+		}, nil
+	}
+	for i := 0; i < 100; i++ {
+		mid := lo + (hi-lo)/2
+		v, err := rttAt(mid)
+		if err != nil {
+			return DimensioningResult{}, err
+		}
+		if v <= rttBound {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-6 {
+			break
+		}
+	}
+	at := m.WithDownlinkLoad(lo)
+	rtt, err := at.RTTQuantile()
+	if err != nil {
+		return DimensioningResult{}, err
+	}
+	return DimensioningResult{
+		MaxDownlinkLoad: lo,
+		MaxGamers:       int(math.Floor(at.Gamers)),
+		RTTAtMax:        rtt,
+		Bound:           rttBound,
+	}, nil
+}
+
+// MaxGamers is the paper's closing formula: the whole-gamer count supported
+// under the bound.
+func (m Model) MaxGamers(rttBound float64) (int, error) {
+	res, err := m.MaxLoad(rttBound)
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxGamers, nil
+}

@@ -1,0 +1,482 @@
+// Package core implements the paper's primary contribution: a calculator for
+// the quantile of the Round Trip Time ("ping time") of a First Person
+// Shooter played over an access network (§3.3-§4).
+//
+// The scenario is Figure 2: N gamers, each on a dedicated access line (Rup
+// upstream, Rdown downstream), share an aggregation link of capacity C to the
+// game server. Upstream, the N near-periodic client flows multiplex into an
+// M/D/1 queue (§3.1). Downstream, the server's per-tick burst (one packet per
+// gamer, Erlang(K) total size) feeds a D/E_K/1 queue (§3.2), and a tagged
+// packet additionally waits behind the part of its own burst in front of it.
+// The three queueing delays are independent, so the total queueing MGF is the
+// product Du(s)W(s)P(s) (eq. 35), inverted in closed form by the mgf package;
+// serialization and any fixed propagation/processing delays are added
+// deterministically.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fpsping/internal/mgf"
+	"fpsping/internal/queueing"
+	"fpsping/internal/xmath"
+)
+
+// DefaultQuantile is the RTT quantile level evaluated throughout the paper's
+// §4 (in line with its references [6, 9, 19]).
+const DefaultQuantile = 0.99999
+
+// ErrBadModel reports invalid model parameters.
+var ErrBadModel = errors.New("core: invalid model")
+
+// ErrUnstable is re-exported for convenience: a queue in the scenario is
+// overloaded.
+var ErrUnstable = queueing.ErrUnstable
+
+// Model describes one access-network gaming scenario. All rates are in
+// bit/s, sizes in bytes, times in seconds.
+//
+// Gamers is a float64 so load sweeps can move continuously along eq. (37);
+// dimensioning results round down to whole gamers.
+type Model struct {
+	// Gamers is N, the number of active players behind the aggregation link.
+	Gamers float64
+	// ClientPacketBytes is PC, the (deterministic) client update size.
+	ClientPacketBytes float64
+	// ServerPacketBytes is PS, the mean per-client server packet size.
+	ServerPacketBytes float64
+	// BurstInterval is T, the server tick / burst inter-arrival time.
+	BurstInterval float64
+	// ClientInterval is D, the client update period. Zero means "equal to
+	// BurstInterval", the §4 assumption.
+	ClientInterval float64
+	// UplinkAccessRate is Rup, the per-gamer access upstream rate.
+	UplinkAccessRate float64
+	// DownlinkAccessRate is Rdown, the per-gamer access downstream rate.
+	DownlinkAccessRate float64
+	// AggregateRate is C, the gaming share of the aggregation link (both
+	// directions, as in §4).
+	AggregateRate float64
+	// ErlangOrder is K, the burst-size Erlang order (§2.3.2).
+	ErlangOrder int
+	// Quantile is the RTT quantile level; zero means DefaultQuantile.
+	Quantile float64
+	// FixedDelay adds any propagation plus server processing time (the
+	// deterministic delay of §1 beyond serialization). Often zero in §4.
+	FixedDelay float64
+}
+
+// DSLDefaults returns the §4 scenario skeleton: PC = 80 B, Rup = 128 kbit/s,
+// Rdown = 1024 kbit/s, C = 5 Mbit/s, 99.999% quantile. Gamers, PS, T and K
+// remain to be set by the caller.
+func DSLDefaults() Model {
+	return Model{
+		ClientPacketBytes:  80,
+		UplinkAccessRate:   128_000,
+		DownlinkAccessRate: 1_024_000,
+		AggregateRate:      5_000_000,
+		Quantile:           DefaultQuantile,
+	}
+}
+
+// Validate checks all parameters (but not stability; see RTTQuantile).
+func (m Model) Validate() error {
+	switch {
+	case !(m.Gamers > 0):
+		return fmt.Errorf("%w: gamers %g", ErrBadModel, m.Gamers)
+	case !(m.ClientPacketBytes > 0):
+		return fmt.Errorf("%w: client packet %g bytes", ErrBadModel, m.ClientPacketBytes)
+	case !(m.ServerPacketBytes > 0):
+		return fmt.Errorf("%w: server packet %g bytes", ErrBadModel, m.ServerPacketBytes)
+	case !(m.BurstInterval > 0):
+		return fmt.Errorf("%w: burst interval %g", ErrBadModel, m.BurstInterval)
+	case m.ClientInterval < 0:
+		return fmt.Errorf("%w: client interval %g", ErrBadModel, m.ClientInterval)
+	case !(m.UplinkAccessRate > 0) || !(m.DownlinkAccessRate > 0) || !(m.AggregateRate > 0):
+		return fmt.Errorf("%w: rates up=%g down=%g agg=%g", ErrBadModel,
+			m.UplinkAccessRate, m.DownlinkAccessRate, m.AggregateRate)
+	case m.ErlangOrder < 2:
+		return fmt.Errorf("%w: Erlang order %d (the uniform position law needs K >= 2)", ErrBadModel, m.ErlangOrder)
+	case m.Quantile < 0 || m.Quantile >= 1:
+		return fmt.Errorf("%w: quantile %g", ErrBadModel, m.Quantile)
+	case m.FixedDelay < 0:
+		return fmt.Errorf("%w: fixed delay %g", ErrBadModel, m.FixedDelay)
+	}
+	return nil
+}
+
+// clientInterval resolves the D = T default.
+func (m Model) clientInterval() float64 {
+	if m.ClientInterval > 0 {
+		return m.ClientInterval
+	}
+	return m.BurstInterval
+}
+
+// quantile resolves the default level.
+func (m Model) quantile() float64 {
+	if m.Quantile > 0 {
+		return m.Quantile
+	}
+	return DefaultQuantile
+}
+
+// DownlinkLoad returns eq. (37): rho_d = 8*N*PS/(T*C).
+func (m Model) DownlinkLoad() float64 {
+	return 8 * m.Gamers * m.ServerPacketBytes / (m.BurstInterval * m.AggregateRate)
+}
+
+// UplinkLoad returns the analogous upstream load 8*N*PC/(D*C).
+func (m Model) UplinkLoad() float64 {
+	return 8 * m.Gamers * m.ClientPacketBytes / (m.clientInterval() * m.AggregateRate)
+}
+
+// SerializationDelay returns the deterministic transmission times on the
+// four hops: client access up, aggregation up, aggregation down, access down.
+func (m Model) SerializationDelay() float64 {
+	up := 8 * m.ClientPacketBytes / m.UplinkAccessRate
+	upAgg := 8 * m.ClientPacketBytes / m.AggregateRate
+	downAgg := 8 * m.ServerPacketBytes / m.AggregateRate
+	down := 8 * m.ServerPacketBytes / m.DownlinkAccessRate
+	return up + upAgg + downAgg + down
+}
+
+// FixedPart returns all deterministic delay: serialization plus FixedDelay.
+func (m Model) FixedPart() float64 { return m.SerializationDelay() + m.FixedDelay }
+
+// Upstream returns the §3.1 M/D/1 queue: Poisson(N/D) arrivals of
+// deterministic service 8*PC/C.
+func (m Model) Upstream() (queueing.MD1, error) {
+	return queueing.NewMD1(m.Gamers/m.clientInterval(), 8*m.ClientPacketBytes/m.AggregateRate)
+}
+
+// Downstream returns the §3.2 D/E_K/1 queue: bursts of mean work
+// 8*N*PS/C every T.
+func (m Model) Downstream() (queueing.DEK1, error) {
+	return queueing.NewDEK1(m.ErlangOrder, 8*m.Gamers*m.ServerPacketBytes/m.AggregateRate, m.BurstInterval)
+}
+
+// factorMixes builds the three independent queueing-delay factors of
+// eq. (35): Du (upstream M/D/1, eq. 14), W (D/E_K/1 burst wait, eq. 18) and
+// P (in-burst position, eq. 34).
+func (m Model) factorMixes() (du, w, p mgf.Mix, err error) {
+	if err = m.Validate(); err != nil {
+		return du, w, p, err
+	}
+	up, err := m.Upstream()
+	if err != nil {
+		return du, w, p, fmt.Errorf("core: upstream: %w", err)
+	}
+	if du, err = up.WaitMixPaper(); err != nil {
+		return du, w, p, err
+	}
+	down, err := m.Downstream()
+	if err != nil {
+		return du, w, p, fmt.Errorf("core: downstream: %w", err)
+	}
+	if w, err = down.WaitMix(); err != nil {
+		return du, w, p, err
+	}
+	if p, err = down.PositionMixUniform(); err != nil {
+		return du, w, p, err
+	}
+	return du, w, p, nil
+}
+
+// mulErrBudget is the largest estimated float64 error tolerated before the
+// explicit Appendix-A product is abandoned for convolution quadrature. Tail
+// work happens at the 1e-5 level, so 1e-9 keeps four digits of headroom.
+const mulErrBudget = 1e-9
+
+// combineLaw multiplies the three delay factors, preferring the explicit
+// Appendix-A expansion and falling back to factored convolution quadrature
+// when the partial fractions would be ill conditioned (typically at low
+// downstream load, where the burst-wait poles crowd the position-law pole
+// beta). Both representations satisfy mgf.Law.
+func combineLaw(du, w, p mgf.Mix) (mgf.Law, error) {
+	if mgf.EstimateMulError(du, p) < mulErrBudget {
+		rest := mgf.Mul(du, p)
+		if mgf.EstimateMulError(w, rest) < mulErrBudget {
+			full := mgf.Mul(w, rest)
+			if err := full.Validate(); err == nil {
+				return full, nil
+			}
+		}
+		return mgf.Sum{A: w, B: rest}, nil
+	}
+	// Even du*p is fragile (gamma close to beta): nest two quadratures.
+	return mgf.Sum{A: w, B: mgf.Sum{A: du, B: p}}, nil
+}
+
+// DelayLaw returns the law of the total queueing delay Du+W+P (eq. 35,
+// excluding the deterministic part).
+func (m Model) DelayLaw() (mgf.Law, error) {
+	du, w, p, err := m.factorMixes()
+	if err != nil {
+		return nil, err
+	}
+	return combineLaw(du, w, p)
+}
+
+// lawQuantile inverts a Law's tail (both Mix and Sum provide Quantile; this
+// helper keeps the call sites uniform).
+func lawQuantile(l mgf.Law, p float64) (float64, error) {
+	switch v := l.(type) {
+	case mgf.Mix:
+		return v.Quantile(p)
+	case mgf.Sum:
+		return v.Quantile(p)
+	default:
+		return 0, fmt.Errorf("core: unknown law type %T", l)
+	}
+}
+
+// RTTQuantile returns the RTT quantile (seconds): the queueing-delay quantile
+// plus the deterministic part. This is the paper's headline metric.
+func (m Model) RTTQuantile() (float64, error) {
+	law, err := m.DelayLaw()
+	if err != nil {
+		return 0, err
+	}
+	q, err := lawQuantile(law, m.quantile())
+	if err != nil {
+		return 0, err
+	}
+	return q + m.FixedPart(), nil
+}
+
+// RTTTail returns P(RTT > d).
+func (m Model) RTTTail(d float64) (float64, error) {
+	law, err := m.DelayLaw()
+	if err != nil {
+		return 0, err
+	}
+	x := d - m.FixedPart()
+	if x < 0 {
+		return 1, nil
+	}
+	return law.Tail(x), nil
+}
+
+// MeanRTT returns the mean round trip time.
+func (m Model) MeanRTT() (float64, error) {
+	law, err := m.DelayLaw()
+	if err != nil {
+		return 0, err
+	}
+	return law.Mean() + m.FixedPart(), nil
+}
+
+// Components decomposes the RTT quantile into its constituents, each
+// reported at the model's quantile level in isolation. Because the quantile
+// of a sum is not the sum of quantiles, Total (the true combined quantile)
+// is generally smaller than the sum of the parts; §3.3 discusses exactly
+// this approximation.
+type Components struct {
+	Serialization float64 // deterministic transmission times
+	Fixed         float64 // propagation + processing
+	Upstream      float64 // M/D/1 waiting quantile
+	BurstWait     float64 // D/E_K/1 burst waiting quantile
+	Position      float64 // in-burst position delay quantile
+	Total         float64 // true RTT quantile (not the sum of the above)
+}
+
+// Decompose evaluates each delay component's quantile in isolation plus the
+// true total.
+func (m Model) Decompose() (Components, error) {
+	var c Components
+	if err := m.Validate(); err != nil {
+		return c, err
+	}
+	c.Serialization = m.SerializationDelay()
+	c.Fixed = m.FixedDelay
+	p := m.quantile()
+
+	up, err := m.Upstream()
+	if err != nil {
+		return c, err
+	}
+	du, err := up.WaitMixPaper()
+	if err != nil {
+		return c, err
+	}
+	if c.Upstream, err = quantileOrZero(du, p); err != nil {
+		return c, err
+	}
+
+	down, err := m.Downstream()
+	if err != nil {
+		return c, err
+	}
+	w, err := down.WaitMix()
+	if err != nil {
+		return c, err
+	}
+	if c.BurstWait, err = quantileOrZero(w, p); err != nil {
+		return c, err
+	}
+	pos, err := down.PositionMixUniform()
+	if err != nil {
+		return c, err
+	}
+	if c.Position, err = quantileOrZero(pos, p); err != nil {
+		return c, err
+	}
+	if c.Total, err = m.RTTQuantile(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func quantileOrZero(mix mgf.Mix, p float64) (float64, error) {
+	q, err := mix.Quantile(p)
+	if err != nil {
+		if errors.Is(err, mgf.ErrInvalid) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return q, nil
+}
+
+// RTTQuantileDominantPole computes the quantile from only the dominant pole
+// of the product MGF: "a further approximation is to neglect all terms but
+// the dominant pole in eq. (35)". The residue is computed stably as the
+// product of the dominant factor's residue with the other factors evaluated
+// at the pole (no partial-fraction expansion needed). Since
+// alpha_1 = beta(1-zeta_1) < beta always, the dominant pole is the simple
+// pole min(gamma, alpha_1).
+func (m Model) RTTQuantileDominantPole() (float64, error) {
+	du, w, p, err := m.factorMixes()
+	if err != nil {
+		return 0, err
+	}
+	type simplePole struct {
+		rate    float64
+		residue complex128
+		others  [2]mgf.Mix
+	}
+	var candidates []simplePole
+	if g, ok := du.DominantPole(); ok {
+		candidates = append(candidates, simplePole{
+			rate:    real(g),
+			residue: du.Terms[0].Coef[0],
+			others:  [2]mgf.Mix{w, p},
+		})
+	}
+	if a1, ok := w.DominantPole(); ok {
+		var res complex128
+		for _, t := range w.Terms {
+			// Conjugate-pair poles share the real part only when complex;
+			// the dominant D/E_K/1 pole alpha_1 is real and unique.
+			if t.Pole == a1 {
+				res = t.Coef[0]
+			}
+		}
+		candidates = append(candidates, simplePole{
+			rate:    real(a1),
+			residue: res,
+			others:  [2]mgf.Mix{du, p},
+		})
+	}
+	if len(candidates) == 0 {
+		// No stochastic part at all: the quantile is the fixed delay.
+		return m.FixedPart(), nil
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.rate < best.rate {
+			best = c
+		}
+	}
+	// Residue of the product at the dominant simple pole d:
+	// c = res_d * F2(d) * F3(d); tail ~ Re(c) e^{-d x}.
+	s := complex(best.rate, 0)
+	c := best.residue * best.others[0].Eval(s) * best.others[1].Eval(s)
+	amp := real(c)
+	target := 1 - m.quantile()
+	if !(amp > target) {
+		return m.FixedPart(), nil
+	}
+	return math.Log(amp/target)/best.rate + m.FixedPart(), nil
+}
+
+// RTTQuantileChernoff computes the quantile from the Chernoff bound of
+// eq. (36): P(D > d) <= inf_{s>0} e^{-sd} Du(s)W(s)P(s), inverted for the
+// target level. The bound is evaluated on real s strictly below the smallest
+// pole real part, where all three MGFs are finite.
+func (m Model) RTTQuantileChernoff() (float64, error) {
+	du, w, p, err := m.factorMixes()
+	if err != nil {
+		return 0, err
+	}
+	sMax := math.Inf(1)
+	for _, mix := range []mgf.Mix{du, w, p} {
+		if pole, ok := mix.DominantPole(); ok && real(pole) < sMax {
+			sMax = real(pole)
+		}
+	}
+	if math.IsInf(sMax, 1) {
+		return m.FixedPart(), nil
+	}
+	logBound := func(d float64) float64 {
+		f := func(s float64) float64 {
+			v := real(du.Eval(complex(s, 0)) * w.Eval(complex(s, 0)) * p.Eval(complex(s, 0)))
+			if v <= 0 {
+				return math.Inf(1)
+			}
+			return -s*d + math.Log(v)
+		}
+		_, fx := xmath.MinimizeGolden(f, 0, sMax*(1-1e-9), 1e-12*sMax)
+		return fx
+	}
+	target := math.Log(1 - m.quantile())
+	// The bound decreases in d; bracket and bisect.
+	lo, hi := 0.0, math.Max(m.BurstInterval, 1e-4)
+	for i := 0; i < 200 && logBound(hi) > target; i++ {
+		lo = hi
+		hi *= 2
+	}
+	for i := 0; i < 100; i++ {
+		mid := lo + (hi-lo)/2
+		if logBound(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-9*(1+hi) {
+			break
+		}
+	}
+	return (lo+hi)/2 + m.FixedPart(), nil
+}
+
+// RTTQuantileSumOfQuantiles applies the last remark of §3.3: approximate the
+// quantile of the sum by the sum of the component quantiles. It is an upper
+// bound in practice and part of the ablation study.
+func (m Model) RTTQuantileSumOfQuantiles() (float64, error) {
+	c, err := m.Decompose()
+	if err != nil {
+		return 0, err
+	}
+	return c.Serialization + c.Fixed + c.Upstream + c.BurstWait + c.Position, nil
+}
+
+// WithDownlinkLoad returns a copy with Gamers set so that DownlinkLoad()
+// equals rho (inverting eq. 37): N = rho*T*C/(8*PS).
+func (m Model) WithDownlinkLoad(rho float64) Model {
+	out := m
+	out.Gamers = rho * m.BurstInterval * m.AggregateRate / (8 * m.ServerPacketBytes)
+	return out
+}
+
+// String summarizes the scenario.
+func (m Model) String() string {
+	return fmt.Sprintf("Model{N=%.4g PC=%gB PS=%gB T=%gms D=%gms Rup=%gk Rdown=%gk C=%gk K=%d q=%g}",
+		m.Gamers, m.ClientPacketBytes, m.ServerPacketBytes,
+		1000*m.BurstInterval, 1000*m.clientInterval(),
+		m.UplinkAccessRate/1000, m.DownlinkAccessRate/1000, m.AggregateRate/1000,
+		m.ErlangOrder, m.quantile())
+}

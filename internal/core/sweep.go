@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// SweepPoint is one point of an RTT-versus-load curve (Figures 3 and 4).
+type SweepPoint struct {
+	// Load is the downlink load rho_d.
+	Load float64
+	// Gamers is the N realizing that load via eq. (37).
+	Gamers float64
+	// RTT is the RTT quantile in seconds.
+	RTT float64
+}
+
+// SweepLoads evaluates the RTT quantile across the given downlink loads,
+// producing the series behind the paper's figures. Loads at or beyond a
+// stability limit are skipped (the curves' vertical asymptote).
+func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("%w: empty load list", ErrBadModel)
+	}
+	out := make([]SweepPoint, 0, len(loads))
+	for _, rho := range loads {
+		if !(rho > 0) {
+			return nil, fmt.Errorf("%w: load %g", ErrBadModel, rho)
+		}
+		at := m.WithDownlinkLoad(rho)
+		rtt, err := at.RTTQuantile()
+		if err != nil {
+			// Stop at the first unstable point: the asymptote.
+			break
+		}
+		out = append(out, SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no stable points in sweep of %s", m)
+	}
+	return out, nil
+}
+
+// PaperLoadGrid returns the load axis used by Figures 3-4: 5% to 90% in 5%
+// steps.
+func PaperLoadGrid() []float64 {
+	loads := make([]float64, 0, 18)
+	for r := 0.05; r < 0.905; r += 0.05 {
+		loads = append(loads, r)
+	}
+	return loads
+}

@@ -1,0 +1,262 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/stats"
+)
+
+// ClientConfig tunes a bot client.
+type ClientConfig struct {
+	// ServerAddr is where updates go (the shaper's client-facing address in
+	// a shaped setup).
+	ServerAddr string
+	// UpdateInterval is D, the client update period.
+	UpdateInterval time.Duration
+	// PacketSize is the update size law in on-wire bytes; nil means Det(80).
+	PacketSize dist.Distribution
+	// Seed drives sampling.
+	Seed uint64
+	// JoinTimeout bounds the join handshake (default 2s).
+	JoinTimeout time.Duration
+}
+
+// PingStats reports a client's measured pings.
+type PingStats struct {
+	// Summary holds mean/CoV/min/max of ping seconds.
+	Summary stats.Summary
+	// Samples is the number of pings measured.
+	Samples int
+}
+
+// Client is a bot player: it joins, streams periodic updates and measures
+// the in-game ping from the server's echo of its update timestamps. As in
+// real FPS clients (§1), the measured ping includes the server's tick-wait
+// remainder on top of the two network delays.
+type Client struct {
+	cfg  ClientConfig
+	conn *net.UDPConn
+	rng  *rand.Rand
+	id   uint16
+
+	mu    sync.Mutex
+	pings stats.Summary
+	top   *stats.TopK
+	seen  uint32 // last echoed seq, to count each update once
+
+	// Downstream stream health, measured the way RTP receivers do.
+	received   int64
+	maxSrvSeq  uint32
+	jitter     float64 // RFC 3550 interarrival jitter estimate, seconds
+	lastRecvNs int64
+	lastSentNs int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StreamStats reports downstream loss and jitter as a game client would.
+type StreamStats struct {
+	// Received counts state packets that arrived.
+	Received int64
+	// Expected is the highest server sequence number seen (packets the
+	// server addressed to us so far).
+	Expected int64
+	// LossRatio is 1 - Received/Expected (0 when nothing was expected).
+	LossRatio float64
+	// Jitter is the RFC 3550 interarrival jitter estimate in seconds:
+	// J += (|D| - J)/16 with D the difference of arrival spacing and
+	// send spacing.
+	Jitter float64
+}
+
+// Stream snapshots the downstream health counters.
+func (c *Client) Stream() StreamStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := StreamStats{
+		Received: c.received,
+		Expected: int64(c.maxSrvSeq),
+		Jitter:   c.jitter,
+	}
+	if out.Expected > 0 {
+		out.LossRatio = 1 - float64(out.Received)/float64(out.Expected)
+		if out.LossRatio < 0 {
+			out.LossRatio = 0
+		}
+	}
+	return out
+}
+
+// NewClient dials, joins, and starts the update/receive loops.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.UpdateInterval <= 0 {
+		return nil, fmt.Errorf("emu: update interval %v", cfg.UpdateInterval)
+	}
+	if cfg.PacketSize == nil {
+		cfg.PacketSize = dist.NewDeterministic(80)
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 2 * time.Second
+	}
+	raddr, err := net.ResolveUDPAddr("udp", cfg.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: resolve %q: %w", cfg.ServerAddr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: dial: %w", err)
+	}
+	tk, _ := stats.NewTopK(10_000)
+	c := &Client{cfg: cfg, conn: conn, rng: dist.NewRNG(cfg.Seed), top: tk, done: make(chan struct{})}
+	if err := c.join(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.wg.Add(2)
+	go c.receiveLoop()
+	go c.updateLoop()
+	return c, nil
+}
+
+// join performs the hello/ack handshake with retries.
+func (c *Client) join() error {
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	buf := make([]byte, MaxPacket)
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		hello, err := Encode(Header{Type: MsgJoin, SentNano: nowNano()})
+		if err != nil {
+			return err
+		}
+		if _, err := c.conn.Write(hello); err != nil {
+			return fmt.Errorf("emu: join write: %w", err)
+		}
+		_ = c.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			continue // retry
+		}
+		h, err := Decode(buf[:n])
+		if err != nil || h.Type != MsgJoinAck {
+			continue
+		}
+		c.id = h.ClientID
+		_ = c.conn.SetReadDeadline(time.Time{})
+		return nil
+	}
+	return errors.New("emu: join timed out")
+}
+
+// ID returns the server-assigned player id.
+func (c *Client) ID() uint16 { return c.id }
+
+// Close leaves the game and stops the loops.
+func (c *Client) Close() error {
+	select {
+	case <-c.done:
+		return nil
+	default:
+	}
+	close(c.done)
+	if bye, err := Encode(Header{Type: MsgLeave, ClientID: c.id, SentNano: nowNano()}); err == nil {
+		_, _ = c.conn.Write(bye)
+	}
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Pings snapshots the measured ping statistics.
+func (c *Client) Pings() PingStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PingStats{Summary: c.pings, Samples: c.pings.Count()}
+}
+
+// PingQuantile returns an empirical ping quantile (needs enough samples).
+func (c *Client) PingQuantile(p float64) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.top.Quantile(p)
+}
+
+func (c *Client) updateLoop() {
+	defer c.wg.Done()
+	var seq uint32
+	timer := time.NewTimer(c.cfg.UpdateInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-timer.C:
+		}
+		seq++
+		size := int(c.cfg.PacketSize.Sample(c.rng) + 0.5)
+		pkt, err := Encode(Header{
+			Type:       MsgUpdate,
+			ClientID:   c.id,
+			Seq:        seq,
+			SentNano:   nowNano(),
+			PayloadLen: SizeToPayload(size),
+		})
+		if err == nil {
+			_, _ = c.conn.Write(pkt)
+		}
+		timer.Reset(c.cfg.UpdateInterval)
+	}
+}
+
+func (c *Client) receiveLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, MaxPacket)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-c.done:
+				return
+			default:
+				continue
+			}
+		}
+		h, err := Decode(buf[:n])
+		if err != nil || h.Type != MsgState {
+			continue
+		}
+		now := nowNano()
+		c.mu.Lock()
+		c.received++
+		if h.Seq > c.maxSrvSeq {
+			c.maxSrvSeq = h.Seq
+		}
+		// RFC 3550 jitter on the downstream stream.
+		if c.lastRecvNs != 0 && h.SentNano > c.lastSentNs {
+			d := float64((now-c.lastRecvNs)-(h.SentNano-c.lastSentNs)) / 1e9
+			if d < 0 {
+				d = -d
+			}
+			c.jitter += (d - c.jitter) / 16
+		}
+		c.lastRecvNs = now
+		c.lastSentNs = h.SentNano
+		if h.EchoSentNano != 0 && h.EchoSeq > c.seen { // first echo per update
+			c.seen = h.EchoSeq
+			ping := float64(now-h.EchoSentNano) / 1e9
+			if ping >= 0 {
+				c.pings.Add(ping)
+				c.top.Add(ping)
+			}
+		}
+		c.mu.Unlock()
+	}
+}

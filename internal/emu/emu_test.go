@@ -1,0 +1,360 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fpsping/internal/dist"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	h := Header{
+		Type:         MsgState,
+		ClientID:     7,
+		Seq:          1234,
+		EchoSeq:      1200,
+		SentNano:     987654321,
+		EchoSentNano: 987000000,
+		PayloadLen:   95,
+	}
+	buf, err := Encode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderSize+95 {
+		t.Fatalf("encoded %d bytes", len(buf))
+	}
+	back, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Errorf("round trip: %+v != %+v", back, h)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, id uint16, seq, echo uint32, sent, echoSent int64, pay uint16) bool {
+		h := Header{
+			Type:         MsgType(typ%5) + MsgJoin,
+			ClientID:     id,
+			Seq:          seq,
+			EchoSeq:      echo,
+			SentNano:     sent,
+			EchoSentNano: echoSent,
+			PayloadLen:   pay % (MaxPacket - HeaderSize),
+		}
+		buf, err := Encode(h)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(buf)
+		return err == nil && back == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejectsJunk(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("accepted empty")
+	}
+	if _, err := Decode(make([]byte, HeaderSize-1)); err == nil {
+		t.Error("accepted short")
+	}
+	buf, _ := Encode(Header{Type: MsgJoin})
+	buf[0] ^= 0xFF
+	if _, err := Decode(buf); err == nil {
+		t.Error("accepted bad magic")
+	}
+	buf2, _ := Encode(Header{Type: MsgJoin})
+	buf2[2] = 99
+	if _, err := Decode(buf2); err == nil {
+		t.Error("accepted bad version")
+	}
+	buf3, _ := Encode(Header{Type: MsgJoin, PayloadLen: 4})
+	if _, err := Decode(buf3[:len(buf3)-1]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	if _, err := Encode(Header{Type: MsgJoin, PayloadLen: MaxPacket}); err == nil {
+		t.Error("accepted oversized payload")
+	}
+}
+
+func TestSizeToPayload(t *testing.T) {
+	if SizeToPayload(10) != 0 {
+		t.Error("sub-header size should clamp to zero payload")
+	}
+	if got := SizeToPayload(125); int(got)+HeaderSize != 125 {
+		t.Errorf("payload %d", got)
+	}
+	if got := SizeToPayload(MaxPacket + 100); int(got)+HeaderSize != MaxPacket {
+		t.Errorf("oversize clamp %d", got)
+	}
+}
+
+func TestLiveDirectPing(t *testing.T) {
+	// Server and two clients directly on loopback: pings should flow and be
+	// small but at least one tick-wait apart on average.
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: 20 * time.Millisecond,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var clients []*Client
+	for i := 0; i < 2; i++ {
+		c, err := NewClient(ClientConfig{
+			ServerAddr:     srv.Addr().String(),
+			UpdateInterval: 25 * time.Millisecond,
+			Seed:           uint64(10 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	time.Sleep(1200 * time.Millisecond)
+	if srv.Clients() != 2 {
+		t.Errorf("server sees %d clients", srv.Clients())
+	}
+	for i, c := range clients {
+		ps := c.Pings()
+		if ps.Samples < 20 {
+			t.Fatalf("client %d: only %d pings", i, ps.Samples)
+		}
+		mean := ps.Summary.Mean()
+		// Mean ping ~ tick wait (uniform 0..20ms -> ~10ms) + tiny loopback
+		// delays; generously bounded.
+		if mean <= 0 || mean > 0.050 {
+			t.Errorf("client %d: mean ping %v", i, mean)
+		}
+	}
+}
+
+func TestLiveShapedPing(t *testing.T) {
+	// Through the shaper with 5ms one-way delay: pings must shift up by
+	// ~2*5ms relative to the direct path, demonstrating the bottleneck
+	// emulation end to end.
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: 20 * time.Millisecond,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	shaper, err := NewShaper(ShaperConfig{
+		ListenAddr: "127.0.0.1:0",
+		ServerAddr: srv.Addr().String(),
+		UpRate:     1_000_000,
+		DownRate:   4_000_000,
+		Delay:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shaper.Close()
+
+	direct, err := NewClient(ClientConfig{
+		ServerAddr:     srv.Addr().String(),
+		UpdateInterval: 25 * time.Millisecond,
+		Seed:           20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	shaped, err := NewClient(ClientConfig{
+		ServerAddr:     shaper.Addr().String(),
+		UpdateInterval: 25 * time.Millisecond,
+		Seed:           21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shaped.Close()
+
+	time.Sleep(1500 * time.Millisecond)
+	dp, sp := direct.Pings(), shaped.Pings()
+	if dp.Samples < 20 || sp.Samples < 20 {
+		t.Fatalf("samples %d/%d", dp.Samples, sp.Samples)
+	}
+	shift := sp.Summary.Mean() - dp.Summary.Mean()
+	// Two 5ms propagation legs plus serialization (~0.6+0.25ms); timers and
+	// scheduling add noise, so accept 7..20ms.
+	if shift < 0.007 || shift > 0.020 {
+		t.Errorf("shaper shift %vms, want ~10ms", 1e3*shift)
+	}
+	if srv.Clients() != 2 {
+		t.Errorf("server sees %d clients", srv.Clients())
+	}
+}
+
+func TestShaperRateLimiting(t *testing.T) {
+	// A burst of back-to-back packets through a slow line must arrive
+	// spaced by at least the serialization time.
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: time.Hour, // silent server; we only observe upstream
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	shaper, err := NewShaper(ShaperConfig{
+		ListenAddr: "127.0.0.1:0",
+		ServerAddr: srv.Addr().String(),
+		UpRate:     128_000, // 80B packet -> 5ms serialization
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shaper.Close()
+	c, err := NewClient(ClientConfig{
+		ServerAddr:     shaper.Addr().String(),
+		UpdateInterval: 1 * time.Millisecond, // 5x faster than the line
+		PacketSize:     dist.NewDeterministic(80),
+		Seed:           30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	time.Sleep(500 * time.Millisecond)
+	in := srv.PacketsIn
+	// 500ms at 5ms per packet: at most ~100 packets can have crossed, even
+	// though the client offered ~500.
+	if in > 120 {
+		t.Errorf("shaper let %d packets through; line supports ~100", in)
+	}
+	if in < 40 {
+		t.Errorf("shaper too strict: only %d packets", in)
+	}
+}
+
+func TestShaperQueueDrops(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: time.Hour,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	shaper, err := NewShaper(ShaperConfig{
+		ListenAddr: "127.0.0.1:0",
+		ServerAddr: srv.Addr().String(),
+		UpRate:     64_000,
+		QueueLimit: 400, // five 80B packets
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shaper.Close()
+	c, err := NewClient(ClientConfig{
+		ServerAddr:     shaper.Addr().String(),
+		UpdateInterval: time.Millisecond,
+		PacketSize:     dist.NewDeterministic(80),
+		Seed:           31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(400 * time.Millisecond)
+	shaper.mu.Lock()
+	drops := shaper.Dropped
+	shaper.mu.Unlock()
+	if drops == 0 {
+		t.Error("overloaded bounded queue never dropped")
+	}
+}
+
+func TestStreamStatsHealthyPath(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: 15 * time.Millisecond,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := NewClient(ClientConfig{
+		ServerAddr:     srv.Addr().String(),
+		UpdateInterval: 20 * time.Millisecond,
+		Seed:           40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(900 * time.Millisecond)
+	ss := c.Stream()
+	if ss.Received < 20 || ss.Expected < 20 {
+		t.Fatalf("stream counters %+v", ss)
+	}
+	// Loopback: essentially no loss, sub-tick jitter.
+	if ss.LossRatio > 0.05 {
+		t.Errorf("loss ratio %v on loopback", ss.LossRatio)
+	}
+	if ss.Jitter < 0 || ss.Jitter > 0.015 {
+		t.Errorf("jitter %v out of range", ss.Jitter)
+	}
+}
+
+func TestStreamStatsSeesShaperLoss(t *testing.T) {
+	// A starved uplink drops most updates, but the downstream state stream
+	// still flows; meanwhile a tiny downstream queue also sheds packets, so
+	// the client must observe downstream loss.
+	srv, err := NewServer(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		TickInterval: 5 * time.Millisecond, // aggressive tick into a slow line
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	shaper, err := NewShaper(ShaperConfig{
+		ListenAddr: "127.0.0.1:0",
+		ServerAddr: srv.Addr().String(),
+		UpRate:     512_000,
+		DownRate:   96_000, // ~10ms per 125B state packet < 5ms tick
+		QueueLimit: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shaper.Close()
+	c, err := NewClient(ClientConfig{
+		ServerAddr:     shaper.Addr().String(),
+		UpdateInterval: 50 * time.Millisecond,
+		Seed:           41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(900 * time.Millisecond)
+	ss := c.Stream()
+	if ss.Expected < 50 {
+		t.Fatalf("expected counter %d too low", ss.Expected)
+	}
+	if ss.LossRatio < 0.2 {
+		t.Errorf("overloaded downstream should lose packets: loss %v", ss.LossRatio)
+	}
+}

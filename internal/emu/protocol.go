@@ -1,0 +1,131 @@
+// Package emu emulates the paper's gaming scenario over real UDP sockets: a
+// game server ticking every T, bot clients sending periodic updates, and a
+// userspace bottleneck shaper standing in for the DSL access and aggregation
+// links. It demonstrates the modeled system end to end on the loopback
+// interface - the "live" counterpart of the netsim package - and measures
+// the in-game ping the way game clients do (§1: the built-in ping feature).
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Wire protocol constants.
+const (
+	// Magic identifies protocol datagrams.
+	Magic uint16 = 0xF5B1
+	// Version is the protocol revision.
+	Version uint8 = 1
+	// HeaderSize is the fixed encoded header length in bytes.
+	HeaderSize = 2 + 1 + 1 + 2 + 2 + 4 + 4 + 8 + 8
+	// MaxPacket bounds datagram sizes (well above game packets).
+	MaxPacket = 4096
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgJoin is a client hello; the server replies with MsgJoinAck.
+	MsgJoin MsgType = iota + 1
+	// MsgJoinAck carries the assigned client id in ClientID.
+	MsgJoinAck
+	// MsgUpdate is the periodic client state update (upstream).
+	MsgUpdate
+	// MsgState is the per-tick server state packet (downstream).
+	MsgState
+	// MsgLeave announces a clean client exit.
+	MsgLeave
+)
+
+// ErrBadPacket reports an undecodable datagram.
+var ErrBadPacket = errors.New("emu: bad packet")
+
+// Header is the fixed wire header. The Echo fields let a client compute its
+// ping without clock synchronization: the server echoes the sequence number
+// and send timestamp of the latest update it received from that client, so
+// ping = receive time - EchoSentNano minus the server's tick-wait remainder
+// (which the client cannot observe; the in-game ping includes it, §1).
+type Header struct {
+	// Type is the message kind.
+	Type MsgType
+	// ClientID is the server-assigned player id.
+	ClientID uint16
+	// Seq numbers messages per direction.
+	Seq uint32
+	// EchoSeq is the last client Seq the server saw (MsgState only).
+	EchoSeq uint32
+	// SentNano is the sender's wall-clock send time.
+	SentNano int64
+	// EchoSentNano is the SentNano of the echoed client update.
+	EchoSentNano int64
+	// PayloadLen is the number of padding bytes after the header, used to
+	// shape packet sizes to the traffic model.
+	PayloadLen uint16
+}
+
+// Encode serializes the header plus payloadLen zero bytes into a fresh
+// buffer sized exactly HeaderSize+PayloadLen.
+func Encode(h Header) ([]byte, error) {
+	if int(h.PayloadLen) > MaxPacket-HeaderSize {
+		return nil, fmt.Errorf("%w: payload %d too large", ErrBadPacket, h.PayloadLen)
+	}
+	buf := make([]byte, HeaderSize+int(h.PayloadLen))
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = uint8(h.Type)
+	binary.BigEndian.PutUint16(buf[4:], h.ClientID)
+	binary.BigEndian.PutUint16(buf[6:], h.PayloadLen)
+	binary.BigEndian.PutUint32(buf[8:], h.Seq)
+	binary.BigEndian.PutUint32(buf[12:], h.EchoSeq)
+	binary.BigEndian.PutUint64(buf[16:], uint64(h.SentNano))
+	binary.BigEndian.PutUint64(buf[24:], uint64(h.EchoSentNano))
+	return buf, nil
+}
+
+// Decode parses a datagram; it validates magic, version, type and length.
+func Decode(buf []byte) (Header, error) {
+	var h Header
+	if len(buf) < HeaderSize {
+		return h, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(buf))
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != Magic {
+		return h, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if buf[2] != Version {
+		return h, fmt.Errorf("%w: version %d", ErrBadPacket, buf[2])
+	}
+	h.Type = MsgType(buf[3])
+	if h.Type < MsgJoin || h.Type > MsgLeave {
+		return h, fmt.Errorf("%w: type %d", ErrBadPacket, buf[3])
+	}
+	h.ClientID = binary.BigEndian.Uint16(buf[4:])
+	h.PayloadLen = binary.BigEndian.Uint16(buf[6:])
+	if len(buf) != HeaderSize+int(h.PayloadLen) {
+		return h, fmt.Errorf("%w: length %d, header says %d", ErrBadPacket, len(buf), HeaderSize+int(h.PayloadLen))
+	}
+	h.Seq = binary.BigEndian.Uint32(buf[8:])
+	h.EchoSeq = binary.BigEndian.Uint32(buf[12:])
+	h.SentNano = int64(binary.BigEndian.Uint64(buf[16:]))
+	h.EchoSentNano = int64(binary.BigEndian.Uint64(buf[24:]))
+	return h, nil
+}
+
+// SizeToPayload converts a desired on-wire packet size (bytes) to the
+// payload length that realizes it, clamping at the header floor.
+func SizeToPayload(wireBytes int) uint16 {
+	if wireBytes <= HeaderSize {
+		return 0
+	}
+	if wireBytes > MaxPacket {
+		wireBytes = MaxPacket
+	}
+	return uint16(wireBytes - HeaderSize)
+}
+
+// nowNano is indirected for tests.
+var nowNano = func() int64 { return time.Now().UnixNano() }

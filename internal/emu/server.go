@@ -1,0 +1,203 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"fpsping/internal/dist"
+)
+
+// ServerConfig tunes the UDP game server.
+type ServerConfig struct {
+	// Addr is the UDP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// TickInterval is T, the burst period.
+	TickInterval time.Duration
+	// PacketSize is the per-client state packet size law in bytes (on the
+	// wire); nil means Det(125).
+	PacketSize dist.Distribution
+	// Seed drives the size sampling.
+	Seed uint64
+}
+
+// Server is the authoritative game server: it tracks joined clients and
+// sends every client one state packet per tick - the burst process of §2.
+type Server struct {
+	cfg  ServerConfig
+	conn *net.UDPConn
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	clients map[uint16]*clientState
+	nextID  uint16
+	closed  bool
+
+	// Ticks counts bursts sent; PacketsIn counts client updates received.
+	Ticks     int64
+	PacketsIn int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type clientState struct {
+	addr     *net.UDPAddr
+	lastSeq  uint32
+	lastSent int64
+	seq      uint32
+}
+
+// NewServer binds the socket and starts the receive and tick loops.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.TickInterval <= 0 {
+		return nil, fmt.Errorf("emu: tick interval %v", cfg.TickInterval)
+	}
+	if cfg.PacketSize == nil {
+		cfg.PacketSize = dist.NewDeterministic(125)
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: listen: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		conn:    conn,
+		rng:     dist.NewRNG(cfg.Seed),
+		clients: map[uint16]*clientState{},
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.receiveLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the loops and the socket.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Clients returns the current player count.
+func (s *Server) Clients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+func (s *Server) receiveLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, MaxPacket)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		h, err := Decode(buf[:n])
+		if err != nil {
+			continue // tolerate junk datagrams
+		}
+		switch h.Type {
+		case MsgJoin:
+			s.handleJoin(raddr)
+		case MsgUpdate:
+			s.mu.Lock()
+			if c, ok := s.clients[h.ClientID]; ok {
+				c.lastSeq = h.Seq
+				c.lastSent = h.SentNano
+				c.addr = raddr // follow NAT rebinding
+				s.PacketsIn++
+			}
+			s.mu.Unlock()
+		case MsgLeave:
+			s.mu.Lock()
+			delete(s.clients, h.ClientID)
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) handleJoin(raddr *net.UDPAddr) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.clients[id] = &clientState{addr: raddr}
+	s.mu.Unlock()
+	ack, err := Encode(Header{Type: MsgJoinAck, ClientID: id, SentNano: nowNano()})
+	if err == nil {
+		_, _ = s.conn.WriteToUDP(ack, raddr)
+	}
+}
+
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.tick()
+		}
+	}
+}
+
+// tick sends the per-client burst, echoing each client's last update so the
+// client can compute its ping.
+func (s *Server) tick() {
+	s.mu.Lock()
+	type target struct {
+		id   uint16
+		addr *net.UDPAddr
+		seq  uint32
+		echo uint32
+		sent int64
+	}
+	targets := make([]target, 0, len(s.clients))
+	for id, c := range s.clients {
+		c.seq++
+		targets = append(targets, target{id: id, addr: c.addr, seq: c.seq, echo: c.lastSeq, sent: c.lastSent})
+	}
+	s.Ticks++
+	s.mu.Unlock()
+	for _, t := range targets {
+		size := int(s.cfg.PacketSize.Sample(s.rng) + 0.5)
+		pkt, err := Encode(Header{
+			Type:         MsgState,
+			ClientID:     t.id,
+			Seq:          t.seq,
+			EchoSeq:      t.echo,
+			SentNano:     nowNano(),
+			EchoSentNano: t.sent,
+			PayloadLen:   SizeToPayload(size),
+		})
+		if err != nil {
+			continue
+		}
+		_, _ = s.conn.WriteToUDP(pkt, t.addr)
+	}
+}

@@ -1,0 +1,230 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ShaperConfig describes the emulated bottleneck: a bidirectional UDP relay
+// whose two directions each serialize packets at a configured rate behind a
+// bounded queue, plus a fixed one-way propagation delay. It is the userspace
+// stand-in for the DSL access + aggregation path of Figure 2.
+type ShaperConfig struct {
+	// ListenAddr is the client-facing address (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// ServerAddr is the real game server address.
+	ServerAddr string
+	// UpRate and DownRate are the serialization rates in bit/s (0 = no
+	// shaping in that direction).
+	UpRate, DownRate float64
+	// Delay is the fixed one-way propagation delay added each way.
+	Delay time.Duration
+	// QueueLimit bounds each direction's backlog in bytes (0 = unbounded).
+	QueueLimit int
+}
+
+// Shaper relays datagrams between many clients and one server while
+// emulating a bottleneck link per direction.
+type Shaper struct {
+	cfg        ShaperConfig
+	clientSide *net.UDPConn
+	serverAddr *net.UDPAddr
+
+	mu     sync.Mutex
+	flows  map[string]*shaperFlow // client addr -> upstream relay state
+	upLine *shapedLine
+	closed bool
+
+	// Dropped counts queue overflows in both directions.
+	Dropped int64
+
+	wg sync.WaitGroup
+}
+
+// shaperFlow is one client's private socket toward the server, so return
+// traffic finds its way back (a minimal NAT).
+type shaperFlow struct {
+	conn     *net.UDPConn
+	client   *net.UDPAddr
+	downLine *shapedLine
+}
+
+// shapedLine emulates one transmission line: a virtual departure clock
+// enforces the serialization rate; the byte backlog enforces the queue
+// bound.
+type shapedLine struct {
+	mu       sync.Mutex
+	rate     float64 // bit/s; 0 = infinite
+	limit    int     // bytes; 0 = unbounded
+	lastFree time.Time
+	backlog  int
+}
+
+// admit returns the artificial delay before the packet may be forwarded, or
+// false if the queue bound rejects it.
+func (l *shapedLine) admit(size int, now time.Time) (time.Duration, bool) {
+	if l == nil || l.rate <= 0 {
+		return 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit > 0 && l.backlog+size > l.limit {
+		return 0, false
+	}
+	start := l.lastFree
+	if start.Before(now) {
+		start = now
+	}
+	ser := time.Duration(8 * float64(size) / l.rate * 1e9)
+	done := start.Add(ser)
+	l.lastFree = done
+	l.backlog += size
+	// The backlog drains when the packet finishes serializing.
+	time.AfterFunc(done.Sub(now), func() {
+		l.mu.Lock()
+		l.backlog -= size
+		l.mu.Unlock()
+	})
+	return done.Sub(now), true
+}
+
+// NewShaper starts the relay.
+func NewShaper(cfg ShaperConfig) (*Shaper, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: shaper listen addr: %w", err)
+	}
+	saddr, err := net.ResolveUDPAddr("udp", cfg.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: shaper server addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: shaper listen: %w", err)
+	}
+	s := &Shaper{
+		cfg:        cfg,
+		clientSide: conn,
+		serverAddr: saddr,
+		flows:      map[string]*shaperFlow{},
+		upLine:     &shapedLine{rate: cfg.UpRate, limit: cfg.QueueLimit},
+	}
+	s.wg.Add(1)
+	go s.clientLoop()
+	return s, nil
+}
+
+// Addr returns the client-facing address.
+func (s *Shaper) Addr() *net.UDPAddr { return s.clientSide.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the relay and all per-client sockets.
+func (s *Shaper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	flows := make([]*shaperFlow, 0, len(s.flows))
+	for _, f := range s.flows {
+		flows = append(flows, f)
+	}
+	s.mu.Unlock()
+	err := s.clientSide.Close()
+	for _, f := range flows {
+		_ = f.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// clientLoop moves client->server datagrams through the upstream line.
+func (s *Shaper) clientLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, MaxPacket)
+	for {
+		n, raddr, err := s.clientSide.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		flow, err := s.flowFor(raddr)
+		if err != nil {
+			continue
+		}
+		delay, ok := s.upLine.admit(n, time.Now())
+		if !ok {
+			s.mu.Lock()
+			s.Dropped++
+			s.mu.Unlock()
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		time.AfterFunc(delay+s.cfg.Delay, func() {
+			_, _ = flow.conn.Write(pkt)
+		})
+	}
+}
+
+// flowFor returns (creating if needed) the per-client relay socket.
+func (s *Shaper) flowFor(client *net.UDPAddr) (*shaperFlow, error) {
+	key := client.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, net.ErrClosed
+	}
+	if f, ok := s.flows[key]; ok {
+		return f, nil
+	}
+	conn, err := net.DialUDP("udp", nil, s.serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	f := &shaperFlow{
+		conn:     conn,
+		client:   client,
+		downLine: &shapedLine{rate: s.cfg.DownRate, limit: s.cfg.QueueLimit},
+	}
+	s.flows[key] = f
+	s.wg.Add(1)
+	go s.serverLoop(f)
+	return f, nil
+}
+
+// serverLoop moves server->client datagrams through the downstream line.
+func (s *Shaper) serverLoop(f *shaperFlow) {
+	defer s.wg.Done()
+	buf := make([]byte, MaxPacket)
+	for {
+		n, err := f.conn.Read(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		delay, ok := f.downLine.admit(n, time.Now())
+		if !ok {
+			s.mu.Lock()
+			s.Dropped++
+			s.mu.Unlock()
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		time.AfterFunc(delay+s.cfg.Delay, func() {
+			_, _ = s.clientSide.WriteToUDP(pkt, f.client)
+		})
+	}
+}

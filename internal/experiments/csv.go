@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSVer is implemented by experiment results that can export their series
+// for external plotting (gnuplot and friends); the CLI's -csv flag uses it.
+type CSVer interface {
+	// CSV returns a header and data rows.
+	CSV() (header []string, rows [][]float64)
+}
+
+// WriteCSV renders any CSVer to w.
+func WriteCSV(w io.Writer, c CSVer) error {
+	header, rows := c.CSV()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("experiments: row width %d != header %d", len(row), len(header))
+		}
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', 10, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV exports the RTT-vs-load curves: load column plus one RTT column per
+// curve (ms). Shorter curves (earlier instability) pad with NaN.
+func (f FigureRTTResult) CSV() (header []string, rows [][]float64) {
+	header = append(header, "load")
+	for _, c := range f.Curves {
+		header = append(header, c.Label+" [ms]")
+	}
+	maxLen := 0
+	for _, c := range f.Curves {
+		if len(c.X) > maxLen {
+			maxLen = len(c.X)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]float64, 0, len(header))
+		var load float64
+		for _, c := range f.Curves {
+			if i < len(c.X) {
+				load = c.X[i]
+			}
+		}
+		row = append(row, load)
+		for _, c := range f.Curves {
+			if i < len(c.Y) {
+				row = append(row, c.Y[i])
+			} else {
+				row = append(row, math.NaN())
+			}
+		}
+		rows = append(rows, row)
+	}
+	return header, rows
+}
+
+// CSV exports the Figure 1 series: burst size, empirical TDF and the three
+// Erlang tails.
+func (f Figure1Result) CSV() (header []string, rows [][]float64) {
+	header = []string{"burst_bytes", "experimental_tdf"}
+	for _, e := range f.Erlangs {
+		header = append(header, e.Label)
+	}
+	for i, x := range f.Empirical.X {
+		row := []float64{x, f.Empirical.Y[i]}
+		for _, e := range f.Erlangs {
+			row = append(row, e.Y[i])
+		}
+		rows = append(rows, row)
+	}
+	return header, rows
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fpsping/internal/core"
+)
+
+// DimRow is one K's dimensioning outcome against the paper's numbers.
+type DimRow struct {
+	K             int
+	MaxLoad       float64
+	MaxGamers     int
+	PaperLoad     float64
+	PaperGamers   int
+	RTTAtMaxMilli float64
+}
+
+// DimensioningResult reproduces §4's closing rule: PS = 125 B, T = 40 ms,
+// C = 5 Mbit/s, RTT bound 50 ms ("excellent game play" per Färber) gives
+// rho_max ~ 20/40/60% and Nmax = 40/80/120 for K = 2/9/20.
+type DimensioningResult struct {
+	Bound float64
+	Rows  []DimRow
+}
+
+// Render formats the rule.
+func (d DimensioningResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RTT bound %.0f ms, PS=125B, T=40ms, C=5Mbit/s\n", 1000*d.Bound)
+	fmt.Fprintf(&b, "%-5s %14s %14s %12s %12s %12s\n",
+		"K", "rho_max", "paper rho_max", "Nmax", "paper Nmax", "RTT@max")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-5d %13.1f%% %13.0f%% %12d %12d %10.1fms\n",
+			r.K, 100*r.MaxLoad, 100*r.PaperLoad, r.MaxGamers, r.PaperGamers, r.RTTAtMaxMilli)
+	}
+	b.WriteString("paper conclusion: the tolerable load is surprisingly low in most circumstances\n")
+	return section("§4 dimensioning rule", b.String())
+}
+
+// Dimensioning runs the rule for the three K values.
+func Dimensioning() (DimensioningResult, error) {
+	out := DimensioningResult{Bound: 0.050}
+	paper := map[int]struct {
+		load   float64
+		gamers int
+	}{
+		2:  {0.20, 40},
+		9:  {0.40, 80},
+		20: {0.60, 120},
+	}
+	for _, k := range []int{2, 9, 20} {
+		m := core.DSLDefaults()
+		m.ServerPacketBytes = 125
+		m.BurstInterval = 0.040
+		m.ErlangOrder = k
+		res, err := m.MaxLoad(out.Bound)
+		if err != nil {
+			return out, fmt.Errorf("dimensioning K=%d: %w", k, err)
+		}
+		out.Rows = append(out.Rows, DimRow{
+			K:             k,
+			MaxLoad:       res.MaxDownlinkLoad,
+			MaxGamers:     res.MaxGamers,
+			PaperLoad:     paper[k].load,
+			PaperGamers:   paper[k].gamers,
+			RTTAtMaxMilli: 1000 * res.RTTAtMax,
+		})
+	}
+	return out, nil
+}
+
+// RobustnessResult verifies the three §4 robustness statements:
+// PS-invariance of the queueing quantile at a given load, capacity
+// invariance given load, and the uplink crossover when PS < PC.
+type RobustnessResult struct {
+	// QueueingByPS maps server packet size -> queueing-part quantile (ms)
+	// at 50% downlink load, K=9, T=60ms.
+	QueueingByPS map[float64]float64
+	// CapacityShiftMilli is the RTT change from quadrupling C at fixed
+	// load; SerializationShiftMilli is the serialization part of it.
+	CapacityShiftMilli, SerializationShiftMilli float64
+	// UplinkCrossoverLoad is the downlink load at which the uplink
+	// saturates for PS=75 < PC=80 (paper: 75/80).
+	UplinkCrossoverLoad float64
+	// MaxStableLoadPS75 is the dimensioning ceiling observed for PS=75.
+	MaxStableLoadPS75 float64
+}
+
+// Render formats the checks.
+func (r RobustnessResult) Render() string {
+	var b strings.Builder
+	b.WriteString("queueing-part 99.999% quantile at 50% load (K=9, T=60ms):\n")
+	for _, ps := range []float64{125, 100, 75} {
+		fmt.Fprintf(&b, "  PS = %3.0f B: %.1f ms\n", ps, r.QueueingByPS[ps])
+	}
+	fmt.Fprintf(&b, "capacity x4 at fixed load: RTT shift %.3f ms vs serialization shift %.3f ms\n",
+		r.CapacityShiftMilli, r.SerializationShiftMilli)
+	fmt.Fprintf(&b, "uplink crossover for PS=75 < PC=80: downlink load %.4f (paper: 75/80 = 0.9375)\n",
+		r.UplinkCrossoverLoad)
+	fmt.Fprintf(&b, "observed stability ceiling for PS=75: %.4f\n", r.MaxStableLoadPS75)
+	return section("§4 robustness checks", b.String())
+}
+
+// Robustness runs the three checks.
+func Robustness() (RobustnessResult, error) {
+	out := RobustnessResult{QueueingByPS: map[float64]float64{}}
+	for _, ps := range []float64{125, 100, 75} {
+		m := core.DSLDefaults()
+		m.ServerPacketBytes = ps
+		m.BurstInterval = 0.060
+		m.ErlangOrder = 9
+		m = m.WithDownlinkLoad(0.5)
+		q, err := m.RTTQuantile()
+		if err != nil {
+			return out, err
+		}
+		out.QueueingByPS[ps] = 1000 * (q - m.FixedPart())
+	}
+
+	base := core.DSLDefaults()
+	base.ServerPacketBytes = 125
+	base.BurstInterval = 0.060
+	base.ErlangOrder = 9
+	base = base.WithDownlinkLoad(0.4)
+	qBase, err := base.RTTQuantile()
+	if err != nil {
+		return out, err
+	}
+	fast := base
+	fast.AggregateRate *= 4
+	fast = fast.WithDownlinkLoad(0.4)
+	qFast, err := fast.RTTQuantile()
+	if err != nil {
+		return out, err
+	}
+	out.CapacityShiftMilli = 1000 * (qBase - qFast)
+	out.SerializationShiftMilli = 1000 * (base.FixedPart() - fast.FixedPart())
+
+	// Uplink crossover: rho_up = rho_down * (PC/PS); saturation at
+	// rho_down = PS/PC.
+	out.UplinkCrossoverLoad = 75.0 / 80.0
+	m75 := core.DSLDefaults()
+	m75.ServerPacketBytes = 75
+	m75.BurstInterval = 0.060
+	m75.ErlangOrder = 9
+	res, err := m75.MaxLoad(10) // huge bound: find the stability ceiling
+	if err != nil {
+		return out, err
+	}
+	out.MaxStableLoadPS75 = res.MaxDownlinkLoad
+	return out, nil
+}
+
+// AblationRow compares the inversion variants at one load.
+type AblationRow struct {
+	Load                                               float64
+	FullMilli, DominantMilli, ChernoffMilli, SumQMilli float64
+}
+
+// AblationResult compares the §3.3 approximation chain: full Erlang-mix
+// inversion (our default), dominant-pole-only, the Chernoff bound of
+// eq. (36) and the sum-of-quantiles shortcut.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Render formats the comparison.
+func (a AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %12s %12s %12s %12s\n", "load", "full", "dominant", "chernoff", "sum-of-q")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%5.0f%% %10.1fms %10.1fms %10.1fms %10.1fms\n",
+			100*r.Load, r.FullMilli, r.DominantMilli, r.ChernoffMilli, r.SumQMilli)
+	}
+	b.WriteString("expected: chernoff and sum-of-quantiles upper-bound full; dominant tracks full at high load\n")
+	return section("§3.3 ablation - 99.999% RTT quantile by method (PS=125B, T=60ms, K=9)", b.String())
+}
+
+// Ablation evaluates the four methods across loads.
+func Ablation() (AblationResult, error) {
+	var out AblationResult
+	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8} {
+		m := core.DSLDefaults()
+		m.ServerPacketBytes = 125
+		m.BurstInterval = 0.060
+		m.ErlangOrder = 9
+		m = m.WithDownlinkLoad(rho)
+		full, err := m.RTTQuantile()
+		if err != nil {
+			return out, err
+		}
+		dom, err := m.RTTQuantileDominantPole()
+		if err != nil {
+			return out, err
+		}
+		cher, err := m.RTTQuantileChernoff()
+		if err != nil {
+			return out, err
+		}
+		sq, err := m.RTTQuantileSumOfQuantiles()
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Load:          rho,
+			FullMilli:     1000 * full,
+			DominantMilli: 1000 * dom,
+			ChernoffMilli: 1000 * cher,
+			SumQMilli:     1000 * sq,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, one typed function per artifact, shared by the CLI, the test
+// suite and the benchmark harness. Each result embeds the paper's published
+// values next to the reproduced ones so EXPERIMENTS.md can be written
+// straight from the output.
+//
+// Index of artifacts (see DESIGN.md §4):
+//
+//	table1        Counter-Strike traffic characteristics (Färber)
+//	table2        Half-Life traffic characteristics (Lang et al.)
+//	table3        Unreal Tournament 2003 LAN trace statistics
+//	figure1       TDF of burst sizes vs Erlang tails
+//	figure3       RTT quantile vs load for K in {2, 9, 20}
+//	figure4       RTT quantile vs load for T in {40, 60} ms
+//	dimensioning  §4 max load / max gamers rule
+//	robustness    §4 PS-robustness, capacity invariance, uplink crossover
+//	ablation      eq. 35 full inversion vs dominant pole vs Chernoff vs
+//	              sum-of-quantiles
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	// Render formats the result as a human-readable report section.
+	Render() string
+}
+
+// Entry describes one runnable experiment.
+type Entry struct {
+	// ID is the CLI name (e.g. "figure3").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment with its default parameters.
+	Run func() (Renderer, error)
+}
+
+// Index lists all experiments in presentation order.
+func Index() []Entry {
+	return []Entry{
+		{"table1", "Table 1: Counter-Strike traffic characteristics (Färber)", func() (Renderer, error) { return Table1(DefaultSeed, 200_000) }},
+		{"table2", "Table 2: Half-Life traffic characteristics (Lang et al.)", func() (Renderer, error) { return Table2(DefaultSeed, 200_000) }},
+		{"table3", "Table 3: Unreal Tournament 2003 LAN trace", func() (Renderer, error) { return Table3(DefaultSeed, 360) }},
+		{"figure1", "Figure 1: burst-size TDF vs Erlang tails", func() (Renderer, error) { return Figure1(DefaultSeed, 360) }},
+		{"figure3", "Figure 3: RTT quantile vs load, K in {2,9,20}", func() (Renderer, error) { return Figure3() }},
+		{"figure4", "Figure 4: RTT quantile vs load, T in {40,60} ms", func() (Renderer, error) { return Figure4() }},
+		{"dimensioning", "§4 dimensioning: max load and gamers under 50 ms", func() (Renderer, error) { return Dimensioning() }},
+		{"robustness", "§4 robustness: PS sweep, C invariance, uplink crossover", func() (Renderer, error) { return Robustness() }},
+		{"ablation", "§3.3 ablation: inversion method comparison", func() (Renderer, error) { return Ablation() }},
+		{"multiserver", "§3.2 extension: several servers on one pipe (M/E_K/1)", func() (Renderer, error) { return MultiServerStudy() }},
+		{"jitter", "[23] replication: injected jitter vs ping", func() (Renderer, error) { return JitterStudy(DefaultSeed, 120) }},
+	}
+}
+
+// Find returns the entry with the given id.
+func Find(id string) (Entry, error) {
+	for _, e := range Index() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Index() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(ids, ", "))
+}
+
+// DefaultSeed keeps every experiment deterministic.
+const DefaultSeed uint64 = 20060601 // the report's month
+
+// section renders a titled block.
+func section(title string, body string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", len(title)))
+	b.WriteString("\n")
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteString("\n")
+	}
+	return b.String()
+}

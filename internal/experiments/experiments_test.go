@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIndexAndFind(t *testing.T) {
+	idx := Index()
+	if len(idx) != 11 {
+		t.Fatalf("index has %d entries", len(idx))
+	}
+	seen := map[string]bool{}
+	for _, e := range idx {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := Find("figure3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("found nonexistent experiment")
+	}
+}
+
+func TestTable1ReproducesFaerber(t *testing.T) {
+	res, err := Table1(DefaultSeed, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Server size row: generated from Ext(120,36): mean ~140.8, and the LS
+	// re-fit must recover (120, 36) within a few units.
+	srv := res.Rows[0]
+	if math.Abs(srv.Mean-140.8) > 2 {
+		t.Errorf("server size mean %v", srv.Mean)
+	}
+	if !strings.HasPrefix(srv.FittedModel, "Ext(1") {
+		t.Errorf("server fit %s", srv.FittedModel)
+	}
+	// Client size re-fit recovers Ext(80, 5.7) within tolerance.
+	cli := res.Rows[2]
+	if !strings.Contains(cli.FittedModel, "Ext(80") && !strings.Contains(cli.FittedModel, "Ext(79") {
+		t.Errorf("client fit %s", cli.FittedModel)
+	}
+	if out := res.Render(); !strings.Contains(out, "Counter-Strike") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2RanksLognormalFirst(t *testing.T) {
+	res, err := Table2(DefaultSeed, 80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FamilyRanking) != 3 {
+		t.Fatalf("ranking %v", res.FamilyRanking)
+	}
+	if !strings.HasPrefix(res.FamilyRanking[0], "lognormal") {
+		t.Errorf("best family %s, want lognormal", res.FamilyRanking[0])
+	}
+	// Deterministic rows exact.
+	if res.Rows[1].Mean != 60 || res.Rows[2].Mean != 41 {
+		t.Errorf("deterministic rows: %+v", res.Rows[1:])
+	}
+	if out := res.Render(); !strings.Contains(out, "Half-Life") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3MatchesPaperMoments(t *testing.T) {
+	res, err := Table3(DefaultSeed, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want, relTol float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > relTol {
+			t.Errorf("%s: %v, paper %v", name, got, want)
+		}
+	}
+	rows := map[string]TableRow{}
+	for _, r := range res.Rows {
+		rows[r.Metric] = r
+	}
+	check("server size mean", rows["server packet size [B]"].Mean, 154, 0.03)
+	check("server size CoV", rows["server packet size [B]"].CoV, 0.28, 0.12)
+	check("burst IAT mean", rows["burst inter-arrival [ms]"].Mean, 47, 0.03)
+	check("burst IAT CoV", rows["burst inter-arrival [ms]"].CoV, 0.07, 0.25)
+	check("burst size mean", rows["burst size [B]"].Mean, 1852, 0.03)
+	check("burst size CoV", rows["burst size [B]"].CoV, 0.19, 0.20)
+	check("client size mean", rows["client packet size [B]"].Mean, 73, 0.03)
+	check("client IAT mean", rows["client inter-arrival [ms]"].Mean, 30, 0.05)
+	check("client IAT CoV", rows["client inter-arrival [ms]"].CoV, 0.65, 0.15)
+	if res.Stats.PacketsPerBurst.Mean() != 12 {
+		t.Errorf("packets per burst %v", res.Stats.PacketsPerBurst.Mean())
+	}
+	if len(res.BurstTotals) < 7000 {
+		t.Errorf("burst totals %d", len(res.BurstTotals))
+	}
+}
+
+func TestFigure1ShapeAndOrders(t *testing.T) {
+	res, err := Figure1(DefaultSeed, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanBurst-1852)/1852 > 0.03 {
+		t.Errorf("mean burst %v", res.MeanBurst)
+	}
+	// Legend rates of the mean-fitted Erlangs match the paper's 2-digit
+	// values.
+	for i, want := range res.PaperRates {
+		if math.Abs(res.FittedRates[i]-want) > 0.0012 {
+			t.Errorf("rate[%d] = %v, paper %v", i, res.FittedRates[i], want)
+		}
+	}
+	// TDF starts at 1 and is nonincreasing.
+	tdf := res.Empirical.Y
+	if tdf[0] != 1 {
+		t.Errorf("TDF(0) = %v", tdf[0])
+	}
+	for i := 1; i < len(tdf); i++ {
+		if tdf[i] > tdf[i-1]+1e-12 {
+			t.Fatalf("TDF increases at %d", i)
+		}
+	}
+	// Order selection: CoV method lands near 1/0.19^2, the tail fit near
+	// the CoV value too for this synthetic trace (our generator has no
+	// extra tail weight), both within the paper's discussion range.
+	if res.KByCoV < 20 || res.KByCoV > 40 {
+		t.Errorf("K by CoV = %d", res.KByCoV)
+	}
+	if res.KByTail < 10 || res.KByTail > 45 {
+		t.Errorf("K by tail = %d", res.KByTail)
+	}
+	if out := res.Render(); !strings.Contains(out, "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure3CurvesOrdered(t *testing.T) {
+	res, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	k2, k9, k20 := res.Curves[0], res.Curves[1], res.Curves[2]
+	for i := range k20.Y {
+		if i < len(k2.Y) && i < len(k9.Y) {
+			if !(k2.Y[i] > k9.Y[i] && k9.Y[i] > k20.Y[i]) {
+				t.Errorf("ordering broken at load %v", k20.X[i])
+			}
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "K = 20") {
+		t.Error("render missing curve labels")
+	}
+}
+
+func TestFigure4RatioNote(t *testing.T) {
+	res, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "ratio") && !strings.Contains(n, "WARNING") {
+			found = true
+		}
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("ratio warning raised: %s", n)
+		}
+	}
+	if !found {
+		t.Error("missing ratio note")
+	}
+	// T=60 curve above T=40 everywhere.
+	c40, c60 := res.Curves[0], res.Curves[1]
+	for i := range c60.Y {
+		if i < len(c40.Y) && c60.Y[i] <= c40.Y[i] {
+			t.Errorf("T=60 not above T=40 at load %v", c60.X[i])
+		}
+	}
+}
+
+func TestDimensioningAgainstPaper(t *testing.T) {
+	res, err := Dimensioning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Within 10 percentage points of the paper's load and 30% of its
+		// gamer counts (its values are read off a plot).
+		if math.Abs(r.MaxLoad-r.PaperLoad) > 0.10 {
+			t.Errorf("K=%d: rho_max %.3f vs paper %.2f", r.K, r.MaxLoad, r.PaperLoad)
+		}
+		if math.Abs(float64(r.MaxGamers-r.PaperGamers)) > 0.3*float64(r.PaperGamers) {
+			t.Errorf("K=%d: Nmax %d vs paper %d", r.K, r.MaxGamers, r.PaperGamers)
+		}
+		if r.RTTAtMaxMilli > 50.5 {
+			t.Errorf("K=%d: RTT at max %v exceeds bound", r.K, r.RTTAtMaxMilli)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "surprisingly low") {
+		t.Error("render missing conclusion")
+	}
+}
+
+func TestRobustnessChecks(t *testing.T) {
+	res, err := Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PS-invariance: queueing parts within 12% of each other.
+	ref := res.QueueingByPS[125]
+	for ps, q := range res.QueueingByPS {
+		if math.Abs(q-ref)/ref > 0.12 {
+			t.Errorf("PS=%v: queueing %v vs ref %v", ps, q, ref)
+		}
+	}
+	// Capacity shift explained by serialization within 2ms.
+	if math.Abs(res.CapacityShiftMilli-res.SerializationShiftMilli) > 2 {
+		t.Errorf("capacity shift %v vs serialization %v",
+			res.CapacityShiftMilli, res.SerializationShiftMilli)
+	}
+	// Uplink ceiling near 75/80.
+	if math.Abs(res.MaxStableLoadPS75-0.9375) > 0.02 {
+		t.Errorf("PS=75 ceiling %v, want ~0.9375", res.MaxStableLoadPS75)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	res, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.SumQMilli < r.FullMilli-1e-6 {
+			t.Errorf("load %v: sum-of-quantiles %v below full %v", r.Load, r.SumQMilli, r.FullMilli)
+		}
+		if r.ChernoffMilli < r.FullMilli-1e-6 {
+			t.Errorf("load %v: chernoff %v below full %v (it is an upper bound)",
+				r.Load, r.ChernoffMilli, r.FullMilli)
+		}
+		// Dominant pole: accurate at the loads the paper operates at, but a
+		// (conservative) overestimate at low load where alpha_1 crowds beta
+		// and the single-pole asymptote kicks in only very deep in the tail
+		// - exactly the "residue" caveat under eq. (35).
+		if r.Load >= 0.4 {
+			if math.Abs(r.DominantMilli-r.FullMilli)/r.FullMilli > 0.30 {
+				t.Errorf("load %v: dominant %v vs full %v", r.Load, r.DominantMilli, r.FullMilli)
+			}
+		} else if r.DominantMilli < r.FullMilli-1e-6 {
+			t.Errorf("load %v: dominant %v should stay conservative vs full %v",
+				r.Load, r.DominantMilli, r.FullMilli)
+		}
+	}
+}
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range Index() {
+		res, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if out := res.Render(); len(out) < 80 {
+			t.Errorf("%s: render too short (%d bytes)", e.ID, len(out))
+		}
+	}
+}
+
+func TestMultiServerStudyShape(t *testing.T) {
+	res, err := MultiServerStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Servers != 1 {
+		t.Fatal("first row must be the single-server baseline")
+	}
+	for _, r := range res.Rows {
+		if r.QuantileMilli <= 0 || r.MeanMilli <= 0 || r.QuantileMilli < r.MeanMilli {
+			t.Errorf("S=%d: quantile %v mean %v", r.Servers, r.QuantileMilli, r.MeanMilli)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "M/E_K/1") {
+		t.Error("render missing method note")
+	}
+}
+
+func TestJitterStudyLinearity(t *testing.T) {
+	res, err := JitterStudy(DefaultSeed, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base := res.Rows[0].MeanRTTMilli
+	for _, r := range res.Rows[1:] {
+		shift := r.MeanRTTMilli - base
+		if math.Abs(shift-r.JitterMeanMilli) > 0.35*r.JitterMeanMilli+0.3 {
+			t.Errorf("jitter %vms: mean shift %vms", r.JitterMeanMilli, shift)
+		}
+	}
+	// p99 must be monotone in jitter.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].P99Milli <= res.Rows[i-1].P99Milli {
+			t.Errorf("p99 not increasing at jitter %v", res.Rows[i].JitterMeanMilli)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	res, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("csv too short: %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "load") || !strings.Contains(lines[0], "IAT = 40ms") {
+		t.Errorf("header %q", lines[0])
+	}
+	// Each data row has header-many fields.
+	want := len(strings.Split(lines[0], ","))
+	for i, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != want {
+			t.Fatalf("row %d has %d fields, want %d", i+1, got, want)
+		}
+	}
+}

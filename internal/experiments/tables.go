@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/fit"
+	"fpsping/internal/netsim"
+	"fpsping/internal/stats"
+	"fpsping/internal/trace"
+	"fpsping/internal/traffic"
+)
+
+// TableRow compares one measured characteristic against the paper.
+type TableRow struct {
+	// Metric names the quantity (e.g. "server packet size [B]").
+	Metric string
+	// PaperMean/PaperCoV are the published measurement.
+	PaperMean, PaperCoV float64
+	// Mean/CoV are our reproduction.
+	Mean, CoV float64
+	// PaperModel is the published approximation (e.g. "Ext(120, 36)").
+	PaperModel string
+	// FittedModel is the law our fitting pipeline recovers.
+	FittedModel string
+}
+
+func (r TableRow) render() string {
+	return fmt.Sprintf("%-28s paper %8.4g (CoV %5.3g) -> ours %8.4g (CoV %5.3g)  paper fit %-14s ours %s",
+		r.Metric, r.PaperMean, r.PaperCoV, r.Mean, r.CoV, r.PaperModel, r.FittedModel)
+}
+
+// Table1Result reproduces Table 1: generate Counter-Strike traffic from
+// Färber's fitted laws, re-measure the characteristics and re-fit the
+// extreme distribution with his least-squares histogram procedure.
+type Table1Result struct {
+	Rows []TableRow
+}
+
+// Render formats the table.
+func (t Table1Result) Render() string {
+	lines := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		lines[i] = r.render()
+	}
+	return section("Table 1 - Counter-Strike (Färber) traffic characteristics",
+		strings.Join(lines, "\n"))
+}
+
+// Table1 generates n samples per characteristic and runs the fits.
+func Table1(seed uint64, n int) (Table1Result, error) {
+	m := traffic.CounterStrike()
+	r := dist.NewRNG(seed)
+	var out Table1Result
+
+	fitGumbelLS := func(xs []float64) (dist.Gumbel, error) {
+		h, err := stats.HistogramFromData(xs)
+		if err != nil {
+			return dist.Gumbel{}, err
+		}
+		return fit.GumbelLeastSquares(h)
+	}
+
+	// Server packet size: paper measured 127B CoV 0.74, fitted Ext(120,36).
+	// (Our sample comes from the fitted law, so the measured moments are the
+	// law's, not 127/0.74 - the table records both on purpose.)
+	ss := dist.SampleN(m.Server.PacketSize, r, n)
+	sSum := stats.Describe(ss)
+	g, err := fitGumbelLS(ss)
+	if err != nil {
+		return out, fmt.Errorf("table1 server size fit: %w", err)
+	}
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "server packet size [B]",
+		PaperMean: 127, PaperCoV: 0.74,
+		Mean: sSum.Mean(), CoV: sSum.CoV(),
+		PaperModel:  "Ext(120, 36)",
+		FittedModel: fmt.Sprintf("Ext(%.0f, %.1f)", g.A, g.B),
+	})
+
+	// Burst inter-arrival time: measured 62ms CoV 0.5, fitted Ext(55, 6).
+	ia := dist.SampleN(m.Server.IAT, r, n)
+	for i := range ia {
+		ia[i] *= 1000 // to ms for the table
+	}
+	iaSum := stats.Describe(ia)
+	gi, err := fitGumbelLS(ia)
+	if err != nil {
+		return out, fmt.Errorf("table1 burst IAT fit: %w", err)
+	}
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "burst inter-arrival [ms]",
+		PaperMean: 62, PaperCoV: 0.5,
+		Mean: iaSum.Mean(), CoV: iaSum.CoV(),
+		PaperModel:  "Ext(55, 6)",
+		FittedModel: fmt.Sprintf("Ext(%.1f, %.2f)", gi.A, gi.B),
+	})
+
+	// Client packet size: measured 82B CoV 0.12, fitted Ext(80, 5.7).
+	cs := dist.SampleN(m.Client[0].Size, r, n)
+	cSum := stats.Describe(cs)
+	gc, err := fit.GumbelMLE(cs)
+	if err != nil {
+		return out, fmt.Errorf("table1 client size fit: %w", err)
+	}
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "client packet size [B]",
+		PaperMean: 82, PaperCoV: 0.12,
+		Mean: cSum.Mean(), CoV: cSum.CoV(),
+		PaperModel:  "Ext(80, 5.7)",
+		FittedModel: fmt.Sprintf("Ext(%.1f, %.2f)", gc.A, gc.B),
+	})
+
+	// Client IAT: measured 42ms CoV 0.24, modeled Det(40).
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "client inter-arrival [ms]",
+		PaperMean: 42, PaperCoV: 0.24,
+		Mean: 1000 * m.Client[0].IAT.Mean(), CoV: dist.CoV(m.Client[0].IAT),
+		PaperModel:  "Det(40)",
+		FittedModel: "Det(40)",
+	})
+	return out, nil
+}
+
+// Table2Result reproduces Table 2 (Half-Life): deterministic timing plus a
+// lognormal server size law whose family is recovered by model ranking.
+type Table2Result struct {
+	Rows []TableRow
+	// FamilyRanking lists candidate families best-first by KS distance for
+	// the server packet sizes.
+	FamilyRanking []string
+}
+
+// Render formats the table.
+func (t Table2Result) Render() string {
+	lines := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		lines[i] = r.render()
+	}
+	lines = append(lines, "server-size family ranking (KS): "+strings.Join(t.FamilyRanking, " > "))
+	return section("Table 2 - Half-Life (Lang et al.) traffic characteristics",
+		strings.Join(lines, "\n"))
+}
+
+// Table2 generates n samples and ranks candidate size families.
+func Table2(seed uint64, n int) (Table2Result, error) {
+	m := traffic.HalfLife("crossfire")
+	r := dist.NewRNG(seed)
+	var out Table2Result
+
+	ss := dist.SampleN(m.Server.PacketSize, r, n)
+	sSum := stats.Describe(ss)
+	ln, err := fit.LogNormalMLE(ss)
+	if err != nil {
+		return out, err
+	}
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "server packet size [B]",
+		PaperMean: sSum.Mean(), PaperCoV: sSum.CoV(), // map-dependent; no absolute paper number
+		Mean: sSum.Mean(), CoV: sSum.CoV(),
+		PaperModel:  "lognormal (map dep.)",
+		FittedModel: fmt.Sprintf("LogN(%.2f, %.2f)", ln.Mu, ln.Sigma),
+	})
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "burst inter-arrival [ms]",
+		PaperMean: 60, PaperCoV: 0,
+		Mean: 1000 * m.Server.IAT.Mean(), CoV: dist.CoV(m.Server.IAT),
+		PaperModel:  "Det(60)",
+		FittedModel: "Det(60)",
+	})
+	out.Rows = append(out.Rows, TableRow{
+		Metric:    "client inter-arrival [ms]",
+		PaperMean: 41, PaperCoV: 0,
+		Mean: 1000 * m.Client[0].IAT.Mean(), CoV: dist.CoV(m.Client[0].IAT),
+		PaperModel:  "Det(41)",
+		FittedModel: "Det(41)",
+	})
+
+	// Family ranking: lognormal should beat normal and extreme for the
+	// (lognormal) server sizes; Lang found normal and lognormal both fit
+	// the client sizes.
+	norm, err := fit.NormalMLE(ss)
+	if err != nil {
+		return out, err
+	}
+	gum, err := fit.GumbelMLE(ss)
+	if err != nil {
+		return out, err
+	}
+	ranked, err := fit.RankByKS(ss, map[string]dist.Distribution{
+		"lognormal": ln, "normal": norm, "extreme": gum,
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, c := range ranked {
+		out.FamilyRanking = append(out.FamilyRanking,
+			fmt.Sprintf("%s(D=%.4f)", c.Name, c.KS.D))
+	}
+	return out, nil
+}
+
+// Table3Result reproduces the paper's own LAN-party measurement via the
+// packet-level simulator plus the trace-analysis pipeline.
+type Table3Result struct {
+	Rows []TableRow
+	// Stats is the full analysis readout.
+	Stats trace.TableStats
+	// BurstTotals are the per-tick byte totals (input to Figure 1).
+	BurstTotals []float64
+	// OrderStability is the fraction of consecutive bursts sharing the same
+	// packet order (§2.2: the paper observed the order varies, undermining
+	// Färber's tacit same-order assumption).
+	OrderStability float64
+}
+
+// Render formats the table.
+func (t Table3Result) Render() string {
+	lines := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		lines[i] = r.render()
+	}
+	lines = append(lines, fmt.Sprintf("within-burst size CoV: %.3f (paper: 0.05-0.11; see EXPERIMENTS.md note)",
+		t.Stats.Downstream.WithinBurstCoV))
+	lines = append(lines, fmt.Sprintf("bursts: %d, packets/burst mean %.2f (paper: one per player)",
+		t.Stats.Bursts, t.Stats.PacketsPerBurst.Mean()))
+	lines = append(lines, fmt.Sprintf("within-burst packet-order stability: %.3f (paper: order varies burst to burst)",
+		t.OrderStability))
+	return section("Table 3 - Unreal Tournament 2003 LAN trace (12 players, simulated)",
+		strings.Join(lines, "\n"))
+}
+
+// lanPartyConfig builds the 12-player LAN scenario calibrated to Table 3:
+// 100 Mbit/s LAN links (negligible queueing), UT2003 traffic laws, and a
+// per-burst level multiplier carrying the across-burst size correlation
+// needed to hit both the packet CoV (0.28) and the burst CoV (0.19).
+func lanPartyConfig() netsim.Config {
+	ut := traffic.UnrealTournament()
+	// Calibration (see EXPERIMENTS.md): packet CoV^2 = cm^2 + cx^2,
+	// burst CoV^2 ~ cm^2 + cx^2/12 with cm the level CoV and cx the
+	// within-burst CoV. Solving for 0.28 / 0.19: cx = 0.215, cm = 0.18.
+	level, err := dist.LogNormalByMoments(1, 0.18)
+	if err != nil {
+		panic(err)
+	}
+	within, err := dist.LogNormalByMoments(154, 0.215)
+	if err != nil {
+		panic(err)
+	}
+	return netsim.Config{
+		Gamers:       12,
+		ClientSize:   ut.Client[0].Size,
+		ClientIAT:    ut.Client[0].IAT,
+		ServerSize:   within,
+		BurstLevel:   level,
+		BurstIAT:     ut.Server.IAT,
+		UpRate:       100_000_000,
+		DownRate:     100_000_000,
+		AggRate:      100_000_000,
+		ShuffleBurst: true,
+		Capture:      true,
+	}
+}
+
+// Table3 simulates the LAN party for the given duration (seconds; the paper
+// traced six minutes = 360).
+func Table3(seed uint64, duration float64) (Table3Result, error) {
+	var out Table3Result
+	s, err := netsim.NewScenario(lanPartyConfig(), seed)
+	if err != nil {
+		return out, err
+	}
+	res, err := s.Run(duration)
+	if err != nil {
+		return out, err
+	}
+	ts, err := trace.Analyze(res.Trace, 0.010)
+	if err != nil {
+		return out, err
+	}
+	out.Stats = ts
+	groups := trace.GroupBurstsByID(res.Trace)
+	out.BurstTotals = trace.BurstTotals(groups)
+	out.OrderStability = trace.OrderStability(groups)
+
+	out.Rows = []TableRow{
+		{
+			Metric:    "server packet size [B]",
+			PaperMean: 154, PaperCoV: 0.28,
+			Mean: ts.Downstream.PacketSize.Mean(), CoV: ts.Downstream.PacketSize.CoV(),
+			PaperModel: "-", FittedModel: "-",
+		},
+		{
+			Metric:    "burst inter-arrival [ms]",
+			PaperMean: 47, PaperCoV: 0.07,
+			Mean: 1000 * ts.Downstream.IAT.Mean(), CoV: ts.Downstream.IAT.CoV(),
+			PaperModel: "-", FittedModel: "-",
+		},
+		{
+			Metric:    "burst size [B]",
+			PaperMean: 1852, PaperCoV: 0.19,
+			Mean: ts.Downstream.BurstSize.Mean(), CoV: ts.Downstream.BurstSize.CoV(),
+			PaperModel: "-", FittedModel: "-",
+		},
+		{
+			Metric:    "client packet size [B]",
+			PaperMean: 73, PaperCoV: 0.06,
+			Mean: ts.Upstream.PacketSize.Mean(), CoV: ts.Upstream.PacketSize.CoV(),
+			PaperModel: "-", FittedModel: "-",
+		},
+		{
+			Metric:    "client inter-arrival [ms]",
+			PaperMean: 30, PaperCoV: 0.65,
+			Mean: 1000 * ts.Upstream.IAT.Mean(), CoV: ts.Upstream.IAT.CoV(),
+			PaperModel: "-", FittedModel: "-",
+		},
+	}
+	return out, nil
+}

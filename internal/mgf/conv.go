@@ -1,0 +1,170 @@
+package mgf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// The Appendix-A product Mul is exact in exact arithmetic but becomes
+// ill-conditioned in float64 when poles of the two factors nearly coincide:
+// the Taylor coefficients it expands through grow like
+// (|p|/|p-q|)^order, amplifying coefficient rounding noise. In the paper's
+// own setting this happens at low downstream load, where the D/E_K/1 poles
+// alpha_j = beta(1-zeta_j) crowd around the packet-position pole beta as
+// zeta_j -> 0.
+//
+// Sum is the numerically robust alternative: it represents the law of X+Y
+// without expanding it, evaluating tails by direct convolution quadrature of
+// the two stable factor representations. EstimateMulError quantifies the
+// amplification so callers can pick the representation.
+
+// EstimateMulError returns a rough bound on the absolute coefficient error
+// Mul(a, b) would commit in float64, driven by near-coincident cross poles.
+// A result below ~1e-9 means Mul is safe for tail work at the paper's 1e-5
+// quantile level.
+func EstimateMulError(a, b Mix) float64 {
+	const eps = 2.220446049250313e-16
+	amp := 0.0
+	for _, ta := range a.Terms {
+		for _, tb := range b.Terms {
+			if samePole(ta.Pole, tb.Pole) {
+				continue // exact merge, no amplification
+			}
+			gap := cmplx.Abs(ta.Pole - tb.Pole)
+			ra := cmplx.Abs(ta.Pole) / gap
+			rb := cmplx.Abs(tb.Pole) / gap
+			var ma, mb float64
+			for _, c := range ta.Coef {
+				ma += cmplx.Abs(c)
+			}
+			for _, c := range tb.Coef {
+				mb += cmplx.Abs(c)
+			}
+			// Principal part at ta.Pole uses Taylor coefficients of tb's
+			// term ladder: magnitude ~ rb^(orderB+orderA); and vice versa.
+			ordA, ordB := float64(len(ta.Coef)), float64(len(tb.Coef))
+			amp += ma * mb * math.Pow(math.Max(rb, 1), ordA+ordB)
+			amp += ma * mb * math.Pow(math.Max(ra, 1), ordA+ordB)
+		}
+	}
+	return eps * amp
+}
+
+// Law is the read side of a delay distribution: Mix implements it in closed
+// form and Sum implements it by quadrature, so sums can nest.
+type Law interface {
+	// Tail returns P(X > x).
+	Tail(x float64) float64
+	// Mean returns E[X].
+	Mean() float64
+	// TotalMass returns the total probability (1 for a normalized law).
+	TotalMass() float64
+}
+
+// AtomOf returns the point mass at zero of any Law.
+func AtomOf(l Law) float64 { return l.TotalMass() - l.Tail(0) }
+
+// Sum is the law of X + Y for independent X ~ A and Y ~ B, kept in factored
+// form. Tails are computed by convolution quadrature against A's density, so
+// accuracy does not depend on pole separation (unlike Mul). Both factors
+// must be normalized laws (mass 1). A should be the factor with the smaller
+// continuous mass: its density scales the quadrature error.
+type Sum struct {
+	A Mix
+	B Law
+}
+
+// Atom returns the probability mass at zero: both factors at zero.
+func (s Sum) Atom() float64 { return s.A.Atom * AtomOf(s.B) }
+
+// Mean returns E[X+Y].
+func (s Sum) Mean() float64 { return s.A.Mean() + s.B.Mean() }
+
+// TotalMass returns the product of the factor masses.
+func (s Sum) TotalMass() float64 { return s.A.TotalMass() * s.B.TotalMass() }
+
+// Tail returns P(X+Y > x):
+//
+//	A.Atom*B.Tail(x) + A.Tail(x) + int_0^x pdfA(u) B.Tail(x-u) du,
+//
+// the last term by composite Simpson quadrature with resolution tied to the
+// sharpest decay rate of A.
+func (s Sum) Tail(x float64) float64 {
+	if x < 0 {
+		return s.TotalMass()
+	}
+	if x == 0 {
+		return s.TotalMass() - s.Atom()
+	}
+	head := s.A.Atom*s.B.Tail(x) + s.A.Tail(x)
+	if len(s.A.Terms) == 0 {
+		return head
+	}
+	// Panel count scales with how many decay lengths of A fit in [0, x].
+	sharp := 0.0
+	for _, t := range s.A.Terms {
+		if r := cmplx.Abs(t.Pole); r > sharp {
+			sharp = r
+		}
+	}
+	n := int(64 * (1 + sharp*x))
+	if n < 512 {
+		n = 512
+	}
+	if n > 32768 {
+		n = 32768
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := x / float64(n)
+	f := func(u float64) float64 { return s.A.PDF(u) * s.B.Tail(x-u) }
+	acc := f(0) + f(x)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4
+		}
+		acc += w * f(h*float64(i))
+	}
+	return head + acc*h/3
+}
+
+// CDF returns TotalMass - Tail(x).
+func (s Sum) CDF(x float64) float64 { return s.TotalMass() - s.Tail(x) }
+
+// Quantile inverts the tail by bracketing and bisection, like Mix.Quantile.
+func (s Sum) Quantile(p float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("%w: quantile level %g", ErrInvalid, p)
+	}
+	target := 1 - p
+	if s.Tail(0) <= target {
+		return 0, nil
+	}
+	step := s.Mean()
+	if !(step > 0) {
+		step = 1
+	}
+	lo, hi := 0.0, step
+	for i := 0; i < 200 && s.Tail(hi) > target; i++ {
+		lo = hi
+		hi *= 2
+	}
+	if s.Tail(hi) > target {
+		return 0, fmt.Errorf("%w: tail does not reach %g", ErrInvalid, target)
+	}
+	for i := 0; i < 120; i++ {
+		mid := lo + (hi-lo)/2
+		if s.Tail(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-10*(1+hi) {
+			break
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}

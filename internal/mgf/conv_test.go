@@ -1,0 +1,115 @@
+package mgf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSumMatchesMulWhenWellConditioned(t *testing.T) {
+	a := NewErlang(0.3, 2, 5)
+	a.Atom = 0.7
+	b := NewErlang(1, 4, 1.2)
+	mul := Mul(a, b)
+	sum := Sum{A: a, B: b}
+	if err := mul.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.TotalMass()-1) > 1e-12 {
+		t.Fatalf("sum mass = %v", sum.TotalMass())
+	}
+	for _, x := range []float64{0, 0.1, 0.5, 1, 3, 8, 15} {
+		got := sum.Tail(x)
+		want := mul.Tail(x)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("tail(%v): conv %v vs mul %v", x, got, want)
+		}
+	}
+	if math.Abs(sum.Mean()-mul.Mean()) > 1e-12 {
+		t.Errorf("means differ: %v vs %v", sum.Mean(), mul.Mean())
+	}
+	q1, err := sum.Quantile(0.99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := mul.Quantile(0.99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q1-q2) > 1e-4*(1+q2) {
+		t.Errorf("quantiles differ: %v vs %v", q1, q2)
+	}
+}
+
+func TestSumNestsAsLaw(t *testing.T) {
+	a := NewExponential(1, 3)
+	b := NewExponential(1, 5)
+	c := NewExponential(1, 7)
+	nested := Sum{A: a, B: Sum{A: b, B: c}}
+	direct := MulAll(a, b, c)
+	for _, x := range []float64{0.1, 0.5, 1.5} {
+		got := nested.Tail(x)
+		want := direct.Tail(x)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("nested tail(%v): %v vs %v", x, got, want)
+		}
+	}
+	if got := AtomOf(nested); math.Abs(got) > 1e-9 {
+		t.Errorf("atom of continuous sum = %v", got)
+	}
+}
+
+func TestSumSurvivesIllConditionedPoles(t *testing.T) {
+	// Two poles separated by 1e-5 relative: Mul's Taylor amplification is
+	// ~(1e5)^(orders); Sum must stay accurate. Ground truth by Monte Carlo
+	// is overkill: with rates this close the sum is essentially
+	// Erlang(2+5, rate).
+	rate := 100.0
+	a := NewErlang(1, 2, rate)
+	b := NewErlang(1, 5, rate*(1+1e-5))
+	if EstimateMulError(a, b) < 1e-9 {
+		t.Skip("pole-merge tolerance absorbed the near-collision")
+	}
+	sum := Sum{A: a, B: b}
+	ref := NewErlang(1, 7, rate) // 2+5 exponentials at ~the same rate
+	for _, x := range []float64{0.01, 0.05, 0.1, 0.2} {
+		got := sum.Tail(x)
+		want := ref.Tail(x)
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("tail(%v): %v vs erlang-7 reference %v", x, got, want)
+		}
+	}
+}
+
+func TestEstimateMulErrorOrdering(t *testing.T) {
+	far := EstimateMulError(NewErlang(1, 3, 1), NewErlang(1, 3, 10))
+	near := EstimateMulError(NewErlang(1, 3, 1), NewErlang(1, 3, 1.001))
+	if far >= near {
+		t.Errorf("well-separated poles (%v) should score below near poles (%v)", far, near)
+	}
+	if near < 1e-9 {
+		t.Errorf("near-coincident poles should exceed the budget: %v", near)
+	}
+	same := EstimateMulError(NewErlang(1, 3, 2), NewErlang(1, 4, 2))
+	if same != 0 {
+		t.Errorf("identical poles merge exactly; estimate should be 0, got %v", same)
+	}
+}
+
+func TestSumQuantileErrorPaths(t *testing.T) {
+	s := Sum{A: NewAtom(1), B: NewAtom(1)}
+	if _, err := s.Quantile(0); err == nil {
+		t.Error("accepted p=0")
+	}
+	q, err := s.Quantile(0.5)
+	if err != nil || q != 0 {
+		t.Errorf("quantile of delta at 0: %v, %v", q, err)
+	}
+}
+
+func BenchmarkSumTail(b *testing.B) {
+	s := Sum{A: NewErlang(1, 9, 0.3), B: NewErlang(1, 8, 0.25)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tail(50)
+	}
+}

@@ -1,0 +1,469 @@
+// Package mgf implements the rational moment-generating-function algebra of
+// the paper's Appendix A: distributions on [0, inf) represented as
+//
+//	F(s) = Atom + sum_j sum_i Coef[j][i] * (p_j/(p_j - s))^(i+1)
+//
+// i.e. an atom at zero plus a weighted sum of (possibly complex) Erlang
+// terms. The class is closed under products (= convolutions of independent
+// delays), which is exactly how §3.3 combines the upstream delay Du(s), the
+// downstream burst delay W(s) and the packet-position delay P(s); and every
+// member inverts in closed form, giving the tail distribution function and
+// hence the RTT quantile.
+//
+// Poles may be complex (the D/E_K/1 waiting time has K-1 complex-conjugate
+// pole pairs); coefficients come in conjugate pairs too, so tails and
+// densities are real up to rounding. All evaluation methods return the real
+// part and the Validate method bounds the imaginary residue.
+package mgf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// ErrInvalid reports a Mix that is not a plausible probability law.
+var ErrInvalid = errors.New("mgf: invalid mix")
+
+// poleMergeTol is the relative distance under which two poles are treated as
+// identical during a product (exact Erlang-order addition applies). Distinct
+// but nearly equal poles make partial fractions ill-conditioned; merging is
+// the numerically safe interpretation.
+const poleMergeTol = 1e-9
+
+// Term is one pole with its Erlang coefficient ladder: Coef[i] multiplies
+// (Pole/(Pole-s))^(i+1).
+type Term struct {
+	Pole complex128
+	Coef []complex128
+}
+
+// MaxOrder returns the highest Erlang order present (= len(Coef)).
+func (t Term) MaxOrder() int { return len(t.Coef) }
+
+// Mix is an atom at zero plus a sum of Erlang terms. The zero value is the
+// MGF of the constant 0 with total mass 0; use NewAtom or the queueing
+// constructors for valid distributions.
+type Mix struct {
+	Atom  float64
+	Terms []Term
+}
+
+// NewAtom returns the distribution of the constant 0 with mass w (w=1 is the
+// Dirac delta at zero).
+func NewAtom(w float64) Mix { return Mix{Atom: w} }
+
+// NewExponential returns the MGF mix of weight*Exp(rate).
+func NewExponential(weight, rate float64) Mix {
+	return Mix{Terms: []Term{{Pole: complex(rate, 0), Coef: []complex128{complex(weight, 0)}}}}
+}
+
+// NewErlang returns the MGF mix of weight*Erlang(k, rate).
+func NewErlang(weight float64, k int, rate float64) Mix {
+	coef := make([]complex128, k)
+	coef[k-1] = complex(weight, 0)
+	return Mix{Terms: []Term{{Pole: complex(rate, 0), Coef: coef}}}
+}
+
+// Clone deep-copies m.
+func (m Mix) Clone() Mix {
+	out := Mix{Atom: m.Atom, Terms: make([]Term, len(m.Terms))}
+	for i, t := range m.Terms {
+		out.Terms[i] = Term{Pole: t.Pole, Coef: append([]complex128(nil), t.Coef...)}
+	}
+	return out
+}
+
+// Scale multiplies all mass by w (atom and coefficients).
+func (m Mix) Scale(w float64) Mix {
+	out := m.Clone()
+	out.Atom *= w
+	for i := range out.Terms {
+		for j := range out.Terms[i].Coef {
+			out.Terms[i].Coef[j] *= complex(w, 0)
+		}
+	}
+	return out
+}
+
+// AddTerm appends a term (merging with an existing equal pole).
+func (m *Mix) AddTerm(pole complex128, coef []complex128) {
+	for i := range m.Terms {
+		if samePole(m.Terms[i].Pole, pole) {
+			if len(coef) > len(m.Terms[i].Coef) {
+				grown := make([]complex128, len(coef))
+				copy(grown, m.Terms[i].Coef)
+				m.Terms[i].Coef = grown
+			}
+			for j, c := range coef {
+				m.Terms[i].Coef[j] += c
+			}
+			return
+		}
+	}
+	m.Terms = append(m.Terms, Term{Pole: pole, Coef: append([]complex128(nil), coef...)})
+}
+
+func samePole(a, b complex128) bool {
+	return cmplx.Abs(a-b) <= poleMergeTol*math.Max(cmplx.Abs(a), cmplx.Abs(b))
+}
+
+// Eval evaluates the MGF at s. Eval(0) is the total probability mass.
+func (m Mix) Eval(s complex128) complex128 {
+	sum := complex(m.Atom, 0)
+	for _, t := range m.Terms {
+		base := t.Pole / (t.Pole - s)
+		pw := complex(1, 0)
+		for _, c := range t.Coef {
+			pw *= base
+			sum += c * pw
+		}
+	}
+	return sum
+}
+
+// TotalMass returns Eval(0) as a real number.
+func (m Mix) TotalMass() float64 { return real(m.Eval(0)) }
+
+// Mean returns the first moment: sum over terms of coef*(order)/pole.
+func (m Mix) Mean() float64 {
+	var sum complex128
+	for _, t := range m.Terms {
+		for i, c := range t.Coef {
+			sum += c * complex(float64(i+1), 0) / t.Pole
+		}
+	}
+	return real(sum)
+}
+
+// SecondMoment returns E[X^2] = sum coef*n(n+1)/pole^2.
+func (m Mix) SecondMoment() float64 {
+	var sum complex128
+	for _, t := range m.Terms {
+		for i, c := range t.Coef {
+			n := float64(i + 1)
+			sum += c * complex(n*(n+1), 0) / (t.Pole * t.Pole)
+		}
+	}
+	return real(sum)
+}
+
+// Tail returns P(X > x). For x <= 0 it returns the total non-negative mass
+// beyond zero (1 - Atom for a normalized mix).
+func (m Mix) Tail(x float64) float64 {
+	if x < 0 {
+		return m.TotalMass()
+	}
+	var sum complex128
+	for _, t := range m.Terms {
+		sum += termTail(t, x)
+	}
+	return real(sum)
+}
+
+// termTail computes sum_i coef_i * P(Erlang(i+1, pole) > x) in complex
+// arithmetic: e^{-px} * sum_{r<=i} (px)^r / r!, accumulated incrementally to
+// avoid overflow.
+func termTail(t Term, x float64) complex128 {
+	px := t.Pole * complex(x, 0)
+	ex := cmplx.Exp(-px)
+	// partial[i] after step i holds e^{-px} * sum_{r=0..i} (px)^r/r!.
+	term := ex // r = 0 term
+	partial := term
+	var sum complex128
+	for i, c := range t.Coef {
+		sum += c * partial
+		// Extend the inner sum for the next order.
+		term *= px / complex(float64(i+1), 0)
+		partial += term
+	}
+	return sum
+}
+
+// CDF returns P(X <= x) = TotalMass - Tail(x) (for a normalized mix, 1-Tail).
+func (m Mix) CDF(x float64) float64 { return m.TotalMass() - m.Tail(x) }
+
+// PDF returns the density of the absolutely continuous part at x > 0.
+func (m Mix) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	var sum complex128
+	for _, t := range m.Terms {
+		px := t.Pole * complex(x, 0)
+		// density of Erlang(n, p): p e^{-px} (px)^{n-1}/(n-1)!
+		f := t.Pole * cmplx.Exp(-px) // n = 1
+		for i, c := range t.Coef {
+			sum += c * f
+			f *= px / complex(float64(i+1), 0)
+		}
+	}
+	return real(sum)
+}
+
+// Quantile returns the smallest x >= 0 with P(X <= x) >= p, assuming the mix
+// is a normalized probability law. It brackets by doubling and bisects on
+// the monotone tail.
+func (m Mix) Quantile(p float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("%w: quantile level %g", ErrInvalid, p)
+	}
+	target := 1 - p
+	if m.Tail(0) <= target {
+		return 0, nil
+	}
+	// Bracket the crossing.
+	step := m.Mean()
+	if !(step > 0) {
+		step = 1
+	}
+	lo, hi := 0.0, step
+	for i := 0; i < 200 && m.Tail(hi) > target; i++ {
+		lo = hi
+		hi *= 2
+	}
+	if m.Tail(hi) > target {
+		return 0, fmt.Errorf("%w: tail does not reach %g", ErrInvalid, target)
+	}
+	for i := 0; i < 200; i++ {
+		mid := lo + (hi-lo)/2
+		if m.Tail(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// DominantPole returns the pole with the smallest real part (the slowest
+// exponential decay) and its total coefficient ladder, or ok=false for a
+// pure atom. The §3.3 dominant-pole approximation keeps only this term.
+func (m Mix) DominantPole() (pole complex128, ok bool) {
+	best := math.Inf(1)
+	for _, t := range m.Terms {
+		nonzero := false
+		for _, c := range t.Coef {
+			if c != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		if re := real(t.Pole); re < best {
+			best = re
+			pole = t.Pole
+			ok = true
+		}
+	}
+	return pole, ok
+}
+
+// DominantOnly returns a mix keeping the atom, the dominant pole's term and
+// every term whose pole shares (up to conjugation) that real part; total mass
+// is NOT renormalized. It realizes the "neglect all terms but the dominant
+// pole" approximation discussed under eq. (35).
+func (m Mix) DominantOnly() Mix {
+	pole, ok := m.DominantPole()
+	if !ok {
+		return Mix{Atom: m.Atom}
+	}
+	out := Mix{Atom: m.Atom}
+	for _, t := range m.Terms {
+		if math.Abs(real(t.Pole)-real(pole)) <= 1e-9*math.Abs(real(pole)) {
+			out.AddTerm(t.Pole, t.Coef)
+		}
+	}
+	return out
+}
+
+// Mul returns the MGF product of a and b: the law of the sum of independent
+// X ~ a and Y ~ b. This is the Appendix A machinery: cross products of
+// Erlang terms are re-expanded by partial fractions around each pole; equal
+// poles merge exactly (Erlang orders add).
+func Mul(a, b Mix) Mix {
+	out := Mix{Atom: a.Atom * b.Atom}
+	// Atom x terms cross products.
+	for _, t := range b.Terms {
+		if a.Atom != 0 {
+			out.AddTerm(t.Pole, scaleCoef(t.Coef, complex(a.Atom, 0)))
+		}
+	}
+	for _, t := range a.Terms {
+		if b.Atom != 0 {
+			out.AddTerm(t.Pole, scaleCoef(t.Coef, complex(b.Atom, 0)))
+		}
+	}
+	// Term x term cross products.
+	for _, ta := range a.Terms {
+		for _, tb := range b.Terms {
+			if samePole(ta.Pole, tb.Pole) {
+				mulSamePole(&out, ta, tb)
+			} else {
+				mulDistinctPoles(&out, ta, tb)
+				mulDistinctPoles(&out, tb, ta)
+			}
+		}
+	}
+	return out
+}
+
+func scaleCoef(coef []complex128, w complex128) []complex128 {
+	out := make([]complex128, len(coef))
+	for i, c := range coef {
+		out[i] = c * w
+	}
+	return out
+}
+
+// mulSamePole handles (p/(p-s))^n * (p/(p-s))^m = (p/(p-s))^(n+m): the
+// convolution of Erlangs with a common rate is an Erlang.
+func mulSamePole(out *Mix, ta, tb Term) {
+	coef := make([]complex128, len(ta.Coef)+len(tb.Coef))
+	for i, ca := range ta.Coef {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range tb.Coef {
+			if cb == 0 {
+				continue
+			}
+			coef[i+j+1] += ca * cb
+		}
+	}
+	out.AddTerm(ta.Pole, coef)
+}
+
+// mulDistinctPoles adds the principal part at ta.Pole of the product
+// F_ta(s) * G_tb(s), following Appendix A: with G's Taylor coefficients
+// g_m at the pole p, the cross term A_i (p/(p-s))^{i+1} * G(s) contributes
+// A_i (-1)^m g_m p^m to order (i+1-m) at p, for m = 0..i.
+func mulDistinctPoles(out *Mix, ta, tb Term) {
+	maxOrder := len(ta.Coef)
+	g := taylorAt(tb, ta.Pole, maxOrder)
+	coef := make([]complex128, maxOrder)
+	sign := func(m int) complex128 {
+		if m%2 == 1 {
+			return -1
+		}
+		return 1
+	}
+	pm := make([]complex128, maxOrder) // pole^m
+	pw := complex(1, 0)
+	for m := 0; m < maxOrder; m++ {
+		pm[m] = pw
+		pw *= ta.Pole
+	}
+	for i, ai := range ta.Coef {
+		if ai == 0 {
+			continue
+		}
+		n := i + 1
+		for m := 0; m < n; m++ {
+			order := n - m // resulting Erlang order
+			coef[order-1] += ai * sign(m) * g[m] * pm[m]
+		}
+	}
+	out.AddTerm(ta.Pole, coef)
+}
+
+// taylorAt returns the first n Taylor coefficients g_m = G^{(m)}(x)/m! of the
+// term function G(s) = sum_j B_j (q/(q-s))^{j+1} around s = x:
+// g_m = sum_j B_j q^{j+1} C(j+m, m) (q-x)^{-(j+1+m)}.
+func taylorAt(t Term, x complex128, n int) []complex128 {
+	g := make([]complex128, n)
+	q := t.Pole
+	qx := q - x
+	for j, bj := range t.Coef {
+		if bj == 0 {
+			continue
+		}
+		// base = q^{j+1} (q-x)^{-(j+1)}; then multiply by C(j+m,m)(q-x)^{-m}.
+		base := cmplx.Pow(q/qx, complex(float64(j+1), 0))
+		binom := complex(1, 0) // C(j+0, 0)
+		inv := complex(1, 0)   // (q-x)^{-m}
+		for m := 0; m < n; m++ {
+			if m > 0 {
+				binom *= complex(float64(j+m), 0) / complex(float64(m), 0)
+				inv /= qx
+			}
+			g[m] += bj * base * binom * inv
+		}
+	}
+	return g
+}
+
+// MulAll folds Mul over the argument list (Dirac at 0 is the unit).
+func MulAll(ms ...Mix) Mix {
+	out := NewAtom(1)
+	for _, m := range ms {
+		out = Mul(out, m)
+	}
+	return out
+}
+
+// Validate checks that m plausibly is a probability distribution: total mass
+// 1, atom in [0,1], real tails, and a monotone nonincreasing tail on a probe
+// grid out to several means. It returns a descriptive error otherwise.
+func (m Mix) Validate() error {
+	if math.Abs(m.TotalMass()-1) > 1e-6 {
+		return fmt.Errorf("%w: total mass %v", ErrInvalid, m.TotalMass())
+	}
+	if m.Atom < -1e-9 || m.Atom > 1+1e-9 {
+		return fmt.Errorf("%w: atom %v", ErrInvalid, m.Atom)
+	}
+	if imag(m.Eval(0)) > 1e-8 {
+		return fmt.Errorf("%w: imaginary mass %v", ErrInvalid, imag(m.Eval(0)))
+	}
+	mean := m.Mean()
+	if math.IsNaN(mean) || mean < -1e-9 {
+		return fmt.Errorf("%w: mean %v", ErrInvalid, mean)
+	}
+	span := 10 * (mean + 1e-9)
+	prev := math.Inf(1)
+	for i := 0; i <= 64; i++ {
+		x := span * float64(i) / 64
+		ta := m.Tail(x)
+		if ta > prev+1e-7 {
+			return fmt.Errorf("%w: tail increases at x=%v (%v -> %v)", ErrInvalid, x, prev, ta)
+		}
+		if ta < -1e-7 || ta > 1+1e-7 {
+			return fmt.Errorf("%w: tail %v at x=%v", ErrInvalid, ta, x)
+		}
+		prev = ta
+	}
+	return nil
+}
+
+// String summarizes the mix (atom, number of terms, dominant pole).
+func (m Mix) String() string {
+	pole, ok := m.DominantPole()
+	if !ok {
+		return fmt.Sprintf("Mix{atom=%.4g}", m.Atom)
+	}
+	orders := 0
+	for _, t := range m.Terms {
+		orders += len(t.Coef)
+	}
+	return fmt.Sprintf("Mix{atom=%.4g, terms=%d, orders=%d, dominant=%.4g%+.4gi}",
+		m.Atom, len(m.Terms), orders, real(pole), imag(pole))
+}
+
+// SortTerms orders terms by real part of the pole (dominant first); useful
+// for stable output in reports and tests.
+func (m *Mix) SortTerms() {
+	sort.Slice(m.Terms, func(i, j int) bool {
+		ri, rj := real(m.Terms[i].Pole), real(m.Terms[j].Pole)
+		if ri != rj {
+			return ri < rj
+		}
+		return imag(m.Terms[i].Pole) < imag(m.Terms[j].Pole)
+	})
+}

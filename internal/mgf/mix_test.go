@@ -1,0 +1,335 @@
+package mgf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/xmath"
+)
+
+func TestExponentialMixBasics(t *testing.T) {
+	m := NewExponential(1, 2) // Exp(2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean()-0.5) > 1e-12 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	if math.Abs(m.Tail(1)-math.Exp(-2)) > 1e-12 {
+		t.Errorf("tail(1) = %v", m.Tail(1))
+	}
+	if math.Abs(m.PDF(0.3)-2*math.Exp(-0.6)) > 1e-12 {
+		t.Errorf("pdf(0.3) = %v", m.PDF(0.3))
+	}
+	q, err := m.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-math.Log(2)/2) > 1e-9 {
+		t.Errorf("median = %v", q)
+	}
+}
+
+func TestErlangMixMatchesDist(t *testing.T) {
+	m := NewErlang(1, 9, 0.3)
+	e, _ := dist.NewErlang(9, 0.3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 10, 30, 60, 120} {
+		if got, want := m.Tail(x), e.Tail(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("tail(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if math.Abs(m.Mean()-30) > 1e-9 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	if math.Abs(m.SecondMoment()-(9*10)/(0.3*0.3)) > 1e-6 {
+		t.Errorf("EX2 = %v", m.SecondMoment())
+	}
+}
+
+func TestMulSamePoleGivesErlang(t *testing.T) {
+	// Exp(l) * Exp(l) = Erlang(2, l).
+	m := Mul(NewExponential(1, 1.7), NewExponential(1, 1.7))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.1, 1, 3} {
+		want := xmath.ErlangTail(2, 1.7, x)
+		if got := m.Tail(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("tail(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMulDistinctPolesHypoexponential(t *testing.T) {
+	// Exp(a) * Exp(b), a != b: tail = (b e^{-ax} - a e^{-bx})/(b-a).
+	a, b := 1.0, 2.5
+	m := Mul(NewExponential(1, a), NewExponential(1, b))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.2, 1, 4} {
+		want := (b*math.Exp(-a*x) - a*math.Exp(-b*x)) / (b - a)
+		if got := m.Tail(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("tail(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMulErlangCrossAgainstMonteCarlo(t *testing.T) {
+	// Erlang(3, 1.2) + Erlang(5, 0.4): no simple closed form; cross-check the
+	// partial-fraction product against Monte Carlo.
+	m := Mul(NewErlang(1, 3, 1.2), NewErlang(1, 5, 0.4))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 3/1.2 + 5/0.4
+	if math.Abs(m.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", m.Mean(), wantMean)
+	}
+	e1, _ := dist.NewErlang(3, 1.2)
+	e2, _ := dist.NewErlang(5, 0.4)
+	r := dist.NewRNG(8)
+	const n = 400_000
+	probes := []float64{5, 10, 15, 25, 35}
+	counts := make([]int, len(probes))
+	for i := 0; i < n; i++ {
+		x := e1.Sample(r) + e2.Sample(r)
+		for j, p := range probes {
+			if x > p {
+				counts[j]++
+			}
+		}
+	}
+	for j, p := range probes {
+		got := m.Tail(p)
+		mc := float64(counts[j]) / n
+		tol := 6*math.Sqrt(mc*(1-mc)/n) + 1e-6
+		if math.Abs(got-mc) > tol {
+			t.Errorf("tail(%v): analytic %v vs MC %v (tol %v)", p, got, mc, tol)
+		}
+	}
+}
+
+func TestMulWithAtomMM1Waiting(t *testing.T) {
+	// M/M/1 waiting time: W = (1-rho) delta_0 + rho Exp(mu(1-rho)).
+	rho, mu := 0.7, 3.0
+	w := NewAtom(1 - rho)
+	exp := NewExponential(rho, mu*(1-rho))
+	w.Atom += 0 // keep explicit
+	m := Mix{Atom: w.Atom, Terms: exp.Terms}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.01, 0.5, 2} {
+		want := rho * math.Exp(-mu*(1-rho)*x)
+		if got := m.Tail(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("tail(%v) = %v want %v", x, got, want)
+		}
+	}
+	// Convolving two of them: mean adds, mass stays 1.
+	conv := Mul(m, m)
+	if err := conv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(conv.Mean()-2*m.Mean()) > 1e-12 {
+		t.Errorf("mean not additive: %v vs %v", conv.Mean(), 2*m.Mean())
+	}
+	if math.Abs(conv.Atom-(1-rho)*(1-rho)) > 1e-12 {
+		t.Errorf("atom = %v", conv.Atom)
+	}
+}
+
+func TestMeanAdditivityUnderMul(t *testing.T) {
+	a := Mul(NewErlang(0.4, 2, 1), NewAtom(1)) // 0.4 Erlang(2,1)
+	a.Atom = 0.6
+	b := NewErlang(1, 4, 2.2)
+	c := Mul(a, b)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Mean()-(a.Mean()+b.Mean())) > 1e-10 {
+		t.Errorf("mean %v, want %v", c.Mean(), a.Mean()+b.Mean())
+	}
+	if math.Abs(c.SecondMoment()-(a.SecondMoment()+2*a.Mean()*b.Mean()+b.SecondMoment())) > 1e-8 {
+		t.Errorf("second moment mismatch")
+	}
+}
+
+func TestEvalAtZeroIsMass(t *testing.T) {
+	m := NewErlang(0.3, 2, 5)
+	m.Atom = 0.7
+	if math.Abs(m.TotalMass()-1) > 1e-12 {
+		t.Errorf("mass = %v", m.TotalMass())
+	}
+	// MGF at a negative real s must be <= 1 for a nonneg rv.
+	v := m.Eval(complex(-1, 0))
+	if real(v) > 1 || math.Abs(imag(v)) > 1e-12 {
+		t.Errorf("Eval(-1) = %v", v)
+	}
+}
+
+func TestComplexConjugatePairRealTail(t *testing.T) {
+	// A valid density with complex poles: f(x) = c e^{-x}(1 - cos(wx)) shape
+	// built from three terms p=1, p=1+iw, p=1-iw. Choose w=2:
+	// f(x) = A e^{-x} - (A/2)(e^{-(1-2i)x} + e^{-(1+2i)x}).
+	// Total mass: A(1 - Re( (1)/(1-2i)... )) - just normalize numerically.
+	w := 2.0
+	p1 := complex(1, 0)
+	p2 := complex(1, w)
+	p3 := complex(1, -w)
+	// Unnormalized: coefficient of an exponential-type term with pole p and
+	// amplitude a contributes a to the tail at 0.
+	m := Mix{Terms: []Term{
+		{Pole: p1, Coef: []complex128{complex(1, 0)}},
+		{Pole: p2, Coef: []complex128{complex(-0.5, 0) * p1 / p2}},
+		{Pole: p3, Coef: []complex128{complex(-0.5, 0) * p1 / p3}},
+	}}
+	mass := m.TotalMass()
+	m = m.Scale(1 / mass)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Density must be nonnegative and real on a grid.
+	for x := 0.0; x < 8; x += 0.05 {
+		if f := m.PDF(x); f < -1e-9 {
+			t.Fatalf("negative density %v at %v", f, x)
+		}
+	}
+}
+
+func TestDominantPole(t *testing.T) {
+	m := Mix{Terms: []Term{
+		{Pole: complex(3, 0), Coef: []complex128{complex(0.2, 0)}},
+		{Pole: complex(0.5, 0), Coef: []complex128{complex(0.3, 0)}},
+		{Pole: complex(2, 1), Coef: []complex128{complex(0.5, 0)}},
+	}}
+	p, ok := m.DominantPole()
+	if !ok || real(p) != 0.5 {
+		t.Errorf("dominant pole = %v ok=%v", p, ok)
+	}
+	d := m.DominantOnly()
+	if len(d.Terms) != 1 || real(d.Terms[0].Pole) != 0.5 {
+		t.Errorf("dominant-only terms: %+v", d.Terms)
+	}
+	// Dominant-only approximates the deep tail of the full mix.
+	x := 20.0
+	full, approx := m.Tail(x), d.Tail(x)
+	if full <= 0 || math.Abs(full-approx)/full > 1e-6 {
+		t.Errorf("deep tail: full %v vs dominant %v", full, approx)
+	}
+	if _, ok := NewAtom(1).DominantPole(); ok {
+		t.Error("pure atom should have no dominant pole")
+	}
+}
+
+func TestQuantileInverseOfTail(t *testing.T) {
+	m := Mul(NewErlang(1, 4, 1.5), NewExponential(1, 0.8))
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 0.99999} {
+		q, err := m.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.CDF(q); math.Abs(got-p) > 1e-8 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	// Atom-heavy mix: quantile below atom mass is 0.
+	m2 := NewExponential(0.2, 1)
+	m2.Atom = 0.8
+	q, err := m2.Quantile(0.5)
+	if err != nil || q != 0 {
+		t.Errorf("quantile within atom = %v, %v", q, err)
+	}
+	if _, err := m.Quantile(0); err == nil {
+		t.Error("accepted p=0")
+	}
+}
+
+func TestMulAllUnit(t *testing.T) {
+	m := MulAll(NewAtom(1), NewExponential(1, 2), NewAtom(1))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Tail(1)-math.Exp(-2)) > 1e-12 {
+		t.Errorf("MulAll changed the law: tail(1)=%v", m.Tail(1))
+	}
+}
+
+func TestValidateCatchesBadMixes(t *testing.T) {
+	bad := NewExponential(0.5, 1) // mass 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted mass 0.5")
+	}
+	neg := NewExponential(1.4, 1)
+	neg.Atom = -0.4
+	if err := neg.Validate(); err == nil {
+		t.Error("accepted negative atom")
+	}
+}
+
+func TestAddTermMergesEqualPoles(t *testing.T) {
+	var m Mix
+	m.AddTerm(complex(2, 0), []complex128{1})
+	m.AddTerm(complex(2, 0), []complex128{0, 0.5})
+	if len(m.Terms) != 1 {
+		t.Fatalf("terms = %d", len(m.Terms))
+	}
+	if m.Terms[0].Coef[0] != 1 || m.Terms[0].Coef[1] != 0.5 {
+		t.Errorf("coef ladder = %v", m.Terms[0].Coef)
+	}
+}
+
+func TestTaylorCoefficients(t *testing.T) {
+	// Analytic check: for G(s) = (q/(q-s)), g_m(x) = q (q-x)^{-(m+1)}.
+	tm := Term{Pole: complex(3, 0), Coef: []complex128{1}}
+	x := complex(1, 0)
+	g := taylorAt(tm, x, 4)
+	for m := 0; m < 4; m++ {
+		want := complex(3, 0) / cmplx.Pow(complex(2, 0), complex(float64(m+1), 0))
+		if cmplx.Abs(g[m]-want) > 1e-12 {
+			t.Errorf("g[%d] = %v, want %v", m, g[m], want)
+		}
+	}
+}
+
+func TestSortTermsStable(t *testing.T) {
+	m := Mix{Terms: []Term{
+		{Pole: complex(3, 0)}, {Pole: complex(1, 1)}, {Pole: complex(1, -1)},
+	}}
+	m.SortTerms()
+	if real(m.Terms[0].Pole) != 1 || imag(m.Terms[0].Pole) != -1 {
+		t.Errorf("sort order: %+v", m.Terms)
+	}
+}
+
+func BenchmarkMulErlangTerms(b *testing.B) {
+	x := NewErlang(1, 9, 0.3)
+	y := NewErlang(1, 8, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkTailEvaluation(b *testing.B) {
+	m := Mul(NewErlang(1, 9, 0.3), NewErlang(1, 8, 0.25))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tail(50)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	m := Mul(NewErlang(1, 9, 0.3), NewErlang(1, 8, 0.25))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Quantile(0.99999); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

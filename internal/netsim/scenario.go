@@ -1,0 +1,417 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/stats"
+	"fpsping/internal/trace"
+)
+
+// Config describes the Figure 2 scenario: N gamers behind dedicated access
+// lines, an aggregation node, and a shared aggregation link to the server in
+// each direction. All laws are in seconds and bytes.
+type Config struct {
+	// Gamers is the number of clients.
+	Gamers int
+	// Servers is the number of game servers sharing the aggregation link
+	// (default 1). Gamers are assigned round-robin; each server runs its
+	// own tick loop with an independent random phase, realizing the §3.2
+	// multi-server superposition. BurstTotal/ServerSize laws apply per
+	// server burst.
+	Servers int
+	// ClientSize is the client update size law (e.g. Det(80)).
+	ClientSize dist.Distribution
+	// ClientIAT is the client update period law (e.g. Det(0.040)).
+	ClientIAT dist.Distribution
+	// ServerSize is the per-client server packet size law. Ignored when
+	// BurstTotal is set.
+	ServerSize dist.Distribution
+	// BurstLevel, when non-nil, draws one multiplier per tick applied to
+	// every ServerSize draw of that burst. It injects the within-burst
+	// size correlation the paper's LAN trace shows (§2.2: per-burst size
+	// CoV far below the overall CoV). Mean should be 1.
+	BurstLevel dist.Distribution
+	// BurstTotal, when non-nil, draws the TOTAL burst size per tick (the
+	// paper's Erlang(K) model) and splits it equally across clients. This
+	// realizes the D/E_K/1 downstream model exactly.
+	BurstTotal dist.Distribution
+	// BurstIAT is the tick period law (e.g. Det(0.060)).
+	BurstIAT dist.Distribution
+	// UpRate/DownRate are the per-gamer access link rates (bit/s).
+	UpRate, DownRate float64
+	// AggRate is the aggregation link rate in each direction (bit/s).
+	AggRate float64
+	// AccessProp/AggProp are one-way propagation delays (s).
+	AccessProp, AggProp float64
+	// ShuffleBurst randomizes the packet order inside each burst (§2.2
+	// observes the order varies; the uniform position law of §3.2.2 assumes
+	// exactly this). Default in NewScenario: true.
+	ShuffleBurst bool
+	// DownJitter, when non-nil, adds a random extra delay to each
+	// downstream packet before its access link - the artificial jitter of
+	// the paper's source experiment [23].
+	DownJitter dist.Distribution
+	// Background, when non-nil, offers elastic cross-traffic to the
+	// downstream aggregation link.
+	Background *BackgroundConfig
+	// NewAggScheduler constructs the scheduler for each direction of the
+	// aggregation link; nil means unbounded FIFO.
+	NewAggScheduler func() Scheduler
+	// Capture records every packet arrival into a trace for Table-3 style
+	// analysis.
+	Capture bool
+}
+
+// BackgroundConfig is Poisson elastic cross-traffic.
+type BackgroundConfig struct {
+	// Rate is the offered bit rate.
+	Rate float64
+	// PacketSize is the elastic packet size in bytes (e.g. 1500).
+	PacketSize int
+}
+
+// DelayStats accumulates one delay population with exact deep-tail order
+// statistics.
+type DelayStats struct {
+	Summary stats.Summary
+	top     *stats.TopK
+}
+
+func newDelayStats() *DelayStats {
+	tk, _ := stats.NewTopK(50_000)
+	return &DelayStats{top: tk}
+}
+
+// Add folds one delay sample.
+func (d *DelayStats) Add(x float64) {
+	d.Summary.Add(x)
+	d.top.Add(x)
+}
+
+// Merge folds another population into d (replicated runs).
+func (d *DelayStats) Merge(o *DelayStats) {
+	d.Summary.Merge(o.Summary)
+	d.top.Merge(o.top)
+}
+
+// Quantile returns the exact empirical quantile if enough tail is retained.
+func (d *DelayStats) Quantile(p float64) (float64, error) { return d.top.Quantile(p) }
+
+// Results collects a scenario run's measurements.
+type Results struct {
+	// Up and Down are one-way network delays (queueing + serialization +
+	// propagation) for gaming packets.
+	Up, Down *DelayStats
+	// RTT pairs per-client upstream and downstream delays in sequence
+	// order: the ping time (§1's definition: up delay + down delay).
+	RTT *DelayStats
+	// Elastic is the delay population of background packets (WFQ studies).
+	Elastic *DelayStats
+	// Trace is the capture (nil unless Config.Capture).
+	Trace *trace.Trace
+	// Drops counts scheduler drops on the aggregation links.
+	Drops int
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// Scenario is a wired-up simulation ready to run.
+type Scenario struct {
+	cfg    Config
+	engine *Engine
+	rng    *rand.Rand
+
+	upAccess   []*Link
+	downAccess []*Link
+	aggUp      *Link
+	aggDown    *Link
+
+	res     *Results
+	upByCli [][]float64
+	dnByCli [][]float64
+	burstNo int
+}
+
+// NewScenario validates the config and builds the topology.
+func NewScenario(cfg Config, seed uint64) (*Scenario, error) {
+	if cfg.Gamers < 1 {
+		return nil, fmt.Errorf("%w: gamers=%d", ErrBadConfig, cfg.Gamers)
+	}
+	if cfg.Servers == 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Servers < 1 || cfg.Servers > cfg.Gamers {
+		return nil, fmt.Errorf("%w: servers=%d for %d gamers", ErrBadConfig, cfg.Servers, cfg.Gamers)
+	}
+	if cfg.ClientSize == nil || cfg.ClientIAT == nil || cfg.BurstIAT == nil {
+		return nil, fmt.Errorf("%w: missing traffic laws", ErrBadConfig)
+	}
+	if cfg.ServerSize == nil && cfg.BurstTotal == nil {
+		return nil, fmt.Errorf("%w: need ServerSize or BurstTotal", ErrBadConfig)
+	}
+	if !(cfg.UpRate > 0) || !(cfg.DownRate > 0) || !(cfg.AggRate > 0) {
+		return nil, fmt.Errorf("%w: rates %g/%g/%g", ErrBadConfig, cfg.UpRate, cfg.DownRate, cfg.AggRate)
+	}
+	s := &Scenario{
+		cfg:    cfg,
+		engine: NewEngine(),
+		rng:    dist.NewRNG(seed),
+		res: &Results{
+			Up:      newDelayStats(),
+			Down:    newDelayStats(),
+			RTT:     newDelayStats(),
+			Elastic: newDelayStats(),
+		},
+		upByCli: make([][]float64, cfg.Gamers),
+		dnByCli: make([][]float64, cfg.Gamers),
+	}
+	if cfg.Capture {
+		s.res.Trace = trace.New()
+	}
+
+	newSched := cfg.NewAggScheduler
+	if newSched == nil {
+		newSched = func() Scheduler { return &FIFO{} }
+	}
+
+	// Server side: upstream aggregation link delivers to the server.
+	serverArrive := HandlerFunc(func(p *Packet) {
+		if p.Class != ClassGaming {
+			return
+		}
+		d := s.engine.Now() - p.Sent
+		s.res.Up.Add(d)
+		cli := int(p.Flow.Src.ID)
+		s.upByCli[cli] = append(s.upByCli[cli], d)
+		s.capture(p)
+	})
+	var err error
+	s.aggUp, err = NewLink(s.engine, "agg-up", cfg.AggRate, cfg.AggProp, newSched(), serverArrive)
+	if err != nil {
+		return nil, err
+	}
+
+	// Client side: per-gamer downstream access links deliver to clients.
+	s.downAccess = make([]*Link, cfg.Gamers)
+	for c := 0; c < cfg.Gamers; c++ {
+		cli := c
+		arrive := HandlerFunc(func(p *Packet) {
+			d := s.engine.Now() - p.Sent
+			s.res.Down.Add(d)
+			s.dnByCli[cli] = append(s.dnByCli[cli], d)
+			s.capture(p)
+		})
+		s.downAccess[c], err = NewLink(s.engine, fmt.Sprintf("down-%d", c), cfg.DownRate, cfg.AccessProp, &FIFO{}, arrive)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Downstream aggregation link demuxes to access links, with optional
+	// jitter injection (the [23] experiment) and elastic sink.
+	demux := HandlerFunc(func(p *Packet) {
+		if p.Class == ClassElastic {
+			s.res.Elastic.Add(s.engine.Now() - p.Sent)
+			return
+		}
+		cli := int(p.Flow.Dst.ID)
+		if cfg.DownJitter != nil {
+			j := cfg.DownJitter.Sample(s.rng)
+			if j < 0 {
+				j = 0
+			}
+			s.engine.Schedule(j, func() { s.downAccess[cli].Send(p) })
+			return
+		}
+		s.downAccess[cli].Send(p)
+	})
+	s.aggDown, err = NewLink(s.engine, "agg-down", cfg.AggRate, cfg.AggProp, newSched(), demux)
+	if err != nil {
+		return nil, err
+	}
+
+	// Upstream access links feed the aggregation link.
+	s.upAccess = make([]*Link, cfg.Gamers)
+	forward := HandlerFunc(func(p *Packet) { s.aggUp.Send(p) })
+	for c := 0; c < cfg.Gamers; c++ {
+		s.upAccess[c], err = NewLink(s.engine, fmt.Sprintf("up-%d", c), cfg.UpRate, cfg.AccessProp, &FIFO{}, forward)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// capture appends an arrival record when capturing is on.
+func (s *Scenario) capture(p *Packet) {
+	if s.res.Trace == nil {
+		return
+	}
+	s.res.Trace.Append(trace.Record{
+		Time:  s.engine.Now(),
+		Size:  p.Size,
+		Flow:  p.Flow,
+		Burst: p.Burst,
+	})
+}
+
+// Run simulates for the given duration and returns the measurements.
+func (s *Scenario) Run(duration float64) (*Results, error) {
+	if !(duration > 0) {
+		return nil, fmt.Errorf("%w: duration %g", ErrBadConfig, duration)
+	}
+	cfg := s.cfg
+
+	// Client update loops with random initial phases (§2.3.1).
+	for c := 0; c < cfg.Gamers; c++ {
+		cli := c
+		var emit func()
+		emit = func() {
+			size := int(cfg.ClientSize.Sample(s.rng) + 0.5)
+			if size < 1 {
+				size = 1
+			}
+			s.upAccess[cli].Send(&Packet{
+				Size:  size,
+				Flow:  trace.Flow{Src: trace.Client(cli), Dst: trace.Server()},
+				Class: ClassGaming,
+				Burst: -1,
+				Sent:  s.engine.Now(),
+			})
+			iat := cfg.ClientIAT.Sample(s.rng)
+			if iat <= 0 {
+				iat = 1e-6
+			}
+			s.engine.Schedule(iat, emit)
+		}
+		s.engine.Schedule(s.rng.Float64()*cfg.ClientIAT.Mean(), emit)
+	}
+
+	// Server burst loops: one per game server over its own client set, each
+	// with an independent random phase (the §3.2 multi-server
+	// superposition; with Servers=1 the phase is 0 so the single-server
+	// scenario keeps a deterministic tick origin).
+	for srv := 0; srv < cfg.Servers; srv++ {
+		var clients []int
+		for c := srv; c < cfg.Gamers; c += cfg.Servers {
+			clients = append(clients, c)
+		}
+		serverEP := trace.Endpoint{Kind: trace.KindServer, ID: uint16(srv)}
+		order := append([]int(nil), clients...)
+		var tick func()
+		tick = func() {
+			sizes := s.burstSizes(len(order))
+			if cfg.ShuffleBurst {
+				s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			}
+			for i, c := range order {
+				s.aggDown.Send(&Packet{
+					Size:  sizes[i],
+					Flow:  trace.Flow{Src: serverEP, Dst: trace.Client(c)},
+					Class: ClassGaming,
+					Burst: s.burstNo,
+					Sent:  s.engine.Now(),
+				})
+			}
+			s.burstNo++
+			iat := cfg.BurstIAT.Sample(s.rng)
+			if iat <= 0 {
+				iat = 1e-6
+			}
+			s.engine.Schedule(iat, tick)
+		}
+		phase := 0.0
+		if cfg.Servers > 1 {
+			phase = s.rng.Float64() * cfg.BurstIAT.Mean()
+		}
+		s.engine.Schedule(phase, tick)
+	}
+
+	// Background elastic Poisson source into the downstream direction.
+	if bg := cfg.Background; bg != nil {
+		if !(bg.Rate > 0) || bg.PacketSize < 1 {
+			return nil, fmt.Errorf("%w: background %+v", ErrBadConfig, *bg)
+		}
+		mean := 8 * float64(bg.PacketSize) / bg.Rate
+		var emit func()
+		emit = func() {
+			s.aggDown.Send(&Packet{
+				Size:  bg.PacketSize,
+				Flow:  trace.Flow{Src: trace.Endpoint{Kind: trace.KindBackground}, Dst: trace.Endpoint{Kind: trace.KindBackground, ID: 1}},
+				Class: ClassElastic,
+				Burst: -1,
+				Sent:  s.engine.Now(),
+			})
+			s.engine.Schedule(s.rng.ExpFloat64()*mean, emit)
+		}
+		s.engine.Schedule(s.rng.ExpFloat64()*mean, emit)
+	}
+
+	s.engine.Run(duration)
+
+	// Pair upstream and downstream delays per client, in sequence order, to
+	// form ping samples (§1's RTT definition: the two one-way delays).
+	for c := 0; c < cfg.Gamers; c++ {
+		n := min(len(s.upByCli[c]), len(s.dnByCli[c]))
+		for i := 0; i < n; i++ {
+			s.res.RTT.Add(s.upByCli[c][i] + s.dnByCli[c][i])
+		}
+	}
+	s.res.Events = s.engine.Processed
+	s.res.Drops = s.dropCount()
+	if s.res.Trace != nil {
+		s.res.Trace.SortByTime()
+	}
+	return s.res, nil
+}
+
+// burstSizes draws the packet sizes of one tick serving n clients.
+func (s *Scenario) burstSizes(n int) []int {
+	cfg := s.cfg
+	sizes := make([]int, n)
+	if cfg.BurstTotal != nil {
+		total := cfg.BurstTotal.Sample(s.rng)
+		per := int(total/float64(n) + 0.5)
+		if per < 1 {
+			per = 1
+		}
+		for i := range sizes {
+			sizes[i] = per
+		}
+		return sizes
+	}
+	level := 1.0
+	if cfg.BurstLevel != nil {
+		level = cfg.BurstLevel.Sample(s.rng)
+		if level <= 0 {
+			level = 0.01
+		}
+	}
+	for i := range sizes {
+		sz := int(level*cfg.ServerSize.Sample(s.rng) + 0.5)
+		if sz < 1 {
+			sz = 1
+		}
+		sizes[i] = sz
+	}
+	return sizes
+}
+
+// dropCount sums scheduler drops across the aggregation links.
+func (s *Scenario) dropCount() int {
+	count := func(sc Scheduler) int {
+		switch v := sc.(type) {
+		case *FIFO:
+			return v.Drops
+		case *HoLPriority:
+			return v.Drops
+		case *WFQ:
+			return v.Drops
+		default:
+			return 0
+		}
+	}
+	return count(s.aggUp.Sched) + count(s.aggDown.Sched)
+}

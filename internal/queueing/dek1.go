@@ -1,0 +1,252 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"fpsping/internal/mgf"
+)
+
+// DEK1 is the D/E_K/1 queue of §3.2: bursts arrive every T seconds and bring
+// an Erlang(K, Beta)-distributed amount of work (in seconds); the paper
+// derives the waiting-time MGF exactly (appendices B-D). In the FPS setting a
+// burst is the server's per-tick bundle of one packet per gamer, and the
+// work is its transmission time on the aggregation link.
+type DEK1 struct {
+	K         int     // Erlang order of the burst work
+	MeanBurst float64 // mean burst work b = K/Beta, s
+	T         float64 // burst inter-arrival time, s
+}
+
+// NewDEK1 validates parameters and stability (MeanBurst < T).
+func NewDEK1(k int, meanBurst, t float64) (DEK1, error) {
+	if k < 1 || !(meanBurst > 0) || !(t > 0) {
+		return DEK1{}, fmt.Errorf("%w: K=%d meanBurst=%g T=%g", ErrBadParam, k, meanBurst, t)
+	}
+	q := DEK1{K: k, MeanBurst: meanBurst, T: t}
+	if q.Load() >= 1 {
+		return DEK1{}, fmt.Errorf("%w: rho=%g", ErrUnstable, q.Load())
+	}
+	return q, nil
+}
+
+// String summarizes the queue.
+func (q DEK1) String() string {
+	return fmt.Sprintf("D/E%d/1(rho=%.3g)", q.K, q.Load())
+}
+
+// Load returns rho = MeanBurst/T.
+func (q DEK1) Load() float64 { return q.MeanBurst / q.T }
+
+// Beta returns the Erlang rate parameter beta = K/MeanBurst (1/s).
+func (q DEK1) Beta() float64 { return float64(q.K) / q.MeanBurst }
+
+// Zetas returns the K roots zeta_k (k = 1..K) of the paper's eq. (26):
+//
+//	z = exp((z-1)/rho + 2*pi*i*(k-1)/K),  Re z < 1,
+//
+// found by the fixed-point iteration Appendix C proves convergent, polished
+// with a complex Newton step. zeta_1 is real in (0,1); the remaining roots
+// come in conjugate pairs.
+func (q DEK1) Zetas() ([]complex128, error) {
+	rho := q.Load()
+	out := make([]complex128, q.K)
+	for k := 1; k <= q.K; k++ {
+		phase := complex(0, 2*math.Pi*float64(k-1)/float64(q.K))
+		g := func(z complex128) complex128 {
+			return cmplx.Exp((z-1)/complex(rho, 0) + phase)
+		}
+		z := complex(0, 0)
+		for i := 0; i < 20000; i++ {
+			nz := g(z)
+			if cmplx.Abs(nz-z) < 1e-15 {
+				z = nz
+				break
+			}
+			z = nz
+		}
+		// Newton polish on h(z) = z - g(z), h'(z) = 1 - g(z)/rho.
+		for i := 0; i < 50; i++ {
+			gz := g(z)
+			h := z - gz
+			dh := 1 - gz/complex(rho, 0)
+			if dh == 0 {
+				break
+			}
+			step := h / dh
+			z -= step
+			if cmplx.Abs(step) < 1e-16 {
+				break
+			}
+		}
+		if res := cmplx.Abs(z - g(z)); res > 1e-10 {
+			return nil, fmt.Errorf("queueing: zeta_%d residual %g (rho=%g, K=%d)", k, res, rho, q.K)
+		}
+		if real(z) >= 1 {
+			return nil, fmt.Errorf("queueing: zeta_%d = %v outside Re z < 1", k, z)
+		}
+		out[k-1] = z
+	}
+	return out, nil
+}
+
+// Poles returns the K poles alpha_k = beta*(1 - zeta_k) of the waiting-time
+// MGF (eq. 25). All have positive real part for a stable queue.
+func (q DEK1) Poles() ([]complex128, error) {
+	zs, err := q.Zetas()
+	if err != nil {
+		return nil, err
+	}
+	beta := complex(q.Beta(), 0)
+	out := make([]complex128, len(zs))
+	for i, z := range zs {
+		out[i] = beta * (1 - z)
+	}
+	return out, nil
+}
+
+// Weights returns the residues a_j of eq. (27):
+//
+//	a_j = zeta_j^K * prod_{k != j} (zeta_k - 1)/(zeta_k - zeta_j),
+//
+// the solution of the Vandermonde system sum_j a_j zeta_j^{-k} = 1
+// (k = 1..K) from Appendix D.
+func (q DEK1) Weights() ([]complex128, error) {
+	zs, err := q.Zetas()
+	if err != nil {
+		return nil, err
+	}
+	return weightsFromZetas(zs), nil
+}
+
+func weightsFromZetas(zs []complex128) []complex128 {
+	k := len(zs)
+	out := make([]complex128, k)
+	for j := 0; j < k; j++ {
+		a := cmplx.Pow(zs[j], complex(float64(k), 0))
+		for i := 0; i < k; i++ {
+			if i == j {
+				continue
+			}
+			a *= (zs[i] - 1) / (zs[i] - zs[j])
+		}
+		out[j] = a
+	}
+	return out
+}
+
+// WaitMix returns the exact burst waiting-time law of eq. (18):
+// W(s) = (1 - sum a_j) + sum a_j * alpha_j/(alpha_j - s).
+// Its atom is the probability an arriving burst finds the queue empty.
+//
+// At very low load the roots zeta_k underflow toward zero (|zeta_1| =
+// e^{-(1-zeta_1)/rho}), the poles become numerically indistinguishable and
+// the waiting probability P(W>0) <= P(burst > T) is below ~1e-14; the exact
+// unit atom is returned in that regime.
+func (q DEK1) WaitMix() (mgf.Mix, error) {
+	zs, err := q.Zetas()
+	if err != nil {
+		return mgf.Mix{}, err
+	}
+	// |zeta_1| bounds every |zeta_k| (Appendix C). Below the threshold the
+	// continuous part is smaller than any tail of interest by orders of
+	// magnitude, and the weight products are no longer computable in
+	// float64.
+	if cmplx.Abs(zs[0]) < 1e-8 {
+		return mgf.NewAtom(1), nil
+	}
+	ws := weightsFromZetas(zs)
+	beta := complex(q.Beta(), 0)
+	var m mgf.Mix
+	var mass complex128
+	for j, z := range zs {
+		pole := beta * (1 - z)
+		m.AddTerm(pole, []complex128{ws[j]})
+		mass += ws[j]
+	}
+	m.Atom = 1 - real(mass)
+	if err := m.Validate(); err != nil {
+		return mgf.Mix{}, fmt.Errorf("D/E%d/1 wait mix (rho=%g): %w", q.K, q.Load(), err)
+	}
+	return m, nil
+}
+
+// BurstWaitTail returns P(burst waiting time > x).
+func (q DEK1) BurstWaitTail(x float64) (float64, error) {
+	m, err := q.WaitMix()
+	if err != nil {
+		return 0, err
+	}
+	return m.Tail(x), nil
+}
+
+// PositionMixUniform returns the packet-position delay law of eq. (34): for
+// a tagged packet uniformly placed in the burst,
+//
+//	P(s) = (1/(K-1)) * sum_{m=1..K-1} (beta/(beta-s))^m,
+//
+// a uniform mixture of Erlang(m, beta) delays. The paper restricts this case
+// to K > 1 (K = 1 has a branch point, eq. 33).
+func (q DEK1) PositionMixUniform() (mgf.Mix, error) {
+	if q.K < 2 {
+		return mgf.Mix{}, fmt.Errorf("%w: uniform position law needs K >= 2 (got %d); see eq. (33)", ErrBadParam, q.K)
+	}
+	coef := make([]complex128, q.K-1)
+	w := complex(1/float64(q.K-1), 0)
+	for i := range coef {
+		coef[i] = w
+	}
+	var m mgf.Mix
+	m.AddTerm(complex(q.Beta(), 0), coef)
+	if err := m.Validate(); err != nil {
+		return mgf.Mix{}, err
+	}
+	return m, nil
+}
+
+// PositionMixSpot returns the packet-position delay law of eq. (32) for a
+// packet always at relative position theta in (0,1] of its burst:
+// P(s) = (beta/(beta - s*theta))^K, i.e. Erlang(K, beta/theta). theta = 0
+// (first packet of the burst) gives a unit atom.
+func (q DEK1) PositionMixSpot(theta float64) (mgf.Mix, error) {
+	if theta < 0 || theta > 1 {
+		return mgf.Mix{}, fmt.Errorf("%w: theta=%g outside [0,1]", ErrBadParam, theta)
+	}
+	if theta == 0 {
+		return mgf.NewAtom(1), nil
+	}
+	m := mgf.NewErlang(1, q.K, q.Beta()/theta)
+	if err := m.Validate(); err != nil {
+		return mgf.Mix{}, err
+	}
+	return m, nil
+}
+
+// PacketDelayMix returns the law of the total downstream queueing delay of a
+// uniformly placed packet: burst wait plus position delay (the two are
+// independent, eq. 29: Dd(s) = W(s) * P(s)).
+func (q DEK1) PacketDelayMix() (mgf.Mix, error) {
+	w, err := q.WaitMix()
+	if err != nil {
+		return mgf.Mix{}, err
+	}
+	p, err := q.PositionMixUniform()
+	if err != nil {
+		return mgf.Mix{}, err
+	}
+	m := mgf.Mul(w, p)
+	if err := m.Validate(); err != nil {
+		return mgf.Mix{}, fmt.Errorf("D/E%d/1 packet delay mix: %w", q.K, err)
+	}
+	return m, nil
+}
+
+// MeanWait returns the exact mean burst waiting time from the MGF.
+func (q DEK1) MeanWait() (float64, error) {
+	m, err := q.WaitMix()
+	if err != nil {
+		return 0, err
+	}
+	return m.Mean(), nil
+}

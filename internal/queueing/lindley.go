@@ -1,0 +1,234 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/stats"
+)
+
+// SimResult summarizes a Lindley-recursion simulation: waiting-time moments
+// and the machinery to read exact deep-tail quantiles and tail probabilities
+// back out.
+type SimResult struct {
+	Summary stats.Summary
+	top     *stats.TopK
+	probes  []float64
+	counts  []int
+	n       int
+}
+
+// TailAt returns the empirical P(W > probe) for the i-th configured probe.
+func (r *SimResult) TailAt(i int) float64 {
+	return float64(r.counts[i]) / float64(r.n)
+}
+
+// Probes returns the configured probe points.
+func (r *SimResult) Probes() []float64 { return r.probes }
+
+// Quantile returns the exact empirical p-quantile, provided the retained
+// top-k covers it.
+func (r *SimResult) Quantile(p float64) (float64, error) { return r.top.Quantile(p) }
+
+func newSimResult(probes []float64, topk int) *SimResult {
+	tk, _ := stats.NewTopK(topk)
+	return &SimResult{top: tk, probes: probes, counts: make([]int, len(probes))}
+}
+
+func (r *SimResult) add(w float64) {
+	r.Summary.Add(w)
+	r.top.Add(w)
+	r.n++
+	for i, p := range r.probes {
+		if w > p {
+			r.counts[i]++
+		}
+	}
+}
+
+// SimulateMD1 runs n customers through an M/D/1 queue by the Lindley
+// recursion W_{k+1} = max(0, W_k + S - A_k) and records waiting times at
+// arrivals (PASTA makes these match time averages). probes are tail points
+// to count exceedances at.
+func SimulateMD1(q MD1, n int, seed uint64, probes []float64) (*SimResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	r := dist.NewRNG(seed)
+	res := newSimResult(probes, topKFor(n))
+	w := 0.0
+	warmup := n / 10
+	for i := 0; i < n+warmup; i++ {
+		if i >= warmup {
+			res.add(w)
+		}
+		a := r.ExpFloat64() / q.Lambda
+		w += q.S - a
+		if w < 0 {
+			w = 0
+		}
+	}
+	return res, nil
+}
+
+// SimulateDEK1 runs n bursts through a D/E_K/1 queue and records both the
+// burst waiting times and, for one uniformly placed tagged packet per burst,
+// the total packet delay (burst wait + position delay within the burst).
+// It returns (burst waits, packet delays).
+func SimulateDEK1(q DEK1, n int, seed uint64, burstProbes, packetProbes []float64) (*SimResult, *SimResult, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	erl, err := dist.NewErlang(q.K, q.Beta())
+	if err != nil {
+		return nil, nil, err
+	}
+	r := dist.NewRNG(seed)
+	bursts := newSimResult(burstProbes, topKFor(n))
+	packets := newSimResult(packetProbes, topKFor(n))
+	w := 0.0
+	warmup := n / 10
+	for i := 0; i < n+warmup; i++ {
+		b := erl.Sample(r)
+		if i >= warmup {
+			bursts.add(w)
+			u := r.Float64()
+			packets.add(w + u*b)
+		}
+		w += b - q.T
+		if w < 0 {
+			w = 0
+		}
+	}
+	return bursts, packets, nil
+}
+
+// SimulateNDD1 estimates the stationary workload survival function of an
+// N*D/D/1 queue. Each replication draws fresh uniform phases for the N
+// periodic sources, plays `cycles` periods through the Lindley recursion
+// (after a warmup), and samples the virtual waiting time at Poisson-like
+// random probe instants; replications make the phase ensemble stationary.
+// The returned waits are the virtual waiting times in seconds.
+func SimulateNDD1(q NDD1, reps, cycles int, seed uint64, probes []float64) (*SimResult, error) {
+	if reps < 1 || cycles < 2 {
+		return nil, fmt.Errorf("%w: reps=%d cycles=%d", ErrBadParam, reps, cycles)
+	}
+	r := dist.NewRNG(seed)
+	res := newSimResult(probes, topKFor(reps*cycles))
+	tau := q.ServiceTime()
+	phases := make([]float64, q.N)
+	arrivals := make([]float64, 0, q.N*cycles)
+	for rep := 0; rep < reps; rep++ {
+		for i := range phases {
+			phases[i] = r.Float64() * q.D
+		}
+		arrivals = arrivals[:0]
+		for c := 0; c < cycles; c++ {
+			for _, ph := range phases {
+				arrivals = append(arrivals, float64(c)*q.D+ph)
+			}
+		}
+		sortFloats(arrivals)
+		// Lindley over sorted arrivals; v(t) tracked between arrivals to
+		// sample the virtual wait at one uniform instant per period.
+		w := 0.0
+		prev := 0.0
+		warmupTime := q.D * float64(cycles) / 5
+		nextSample := warmupTime + r.Float64()*q.D
+		for _, t := range arrivals {
+			// Virtual waiting time decays linearly between arrivals.
+			for nextSample < t {
+				v := w - (nextSample - prev)
+				if v < 0 {
+					v = 0
+				}
+				if nextSample >= warmupTime {
+					res.add(v)
+				}
+				nextSample += q.D * (0.5 + r.Float64())
+			}
+			w -= t - prev
+			if w < 0 {
+				w = 0
+			}
+			w += tau
+			prev = t
+		}
+	}
+	return res, nil
+}
+
+func topKFor(n int) int {
+	// Keep enough order statistics for a 1e-5 quantile with headroom.
+	k := n / 10_000
+	if k < 1000 {
+		k = 1000
+	}
+	if k > 200_000 {
+		k = 200_000
+	}
+	return k
+}
+
+func sortFloats(xs []float64) {
+	// Insertion-friendly sizes are rare here; use pdqsort via the sort pkg.
+	// Separate function keeps the call site tidy.
+	if len(xs) > 1 {
+		quickSort(xs, 0, len(xs)-1)
+	}
+}
+
+// quickSort is a three-way quicksort with median-of-three pivoting; it avoids
+// pulling in sort.Float64s' interface overhead in the hot simulation path.
+func quickSort(xs []float64, lo, hi int) {
+	for hi-lo > 12 {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			quickSort(xs, lo, j)
+			lo = i
+		} else {
+			quickSort(xs, i, hi)
+			hi = j
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// mcTol returns a Monte-Carlo comparison tolerance: s sigmas of a binomial
+// proportion estimate at level p with n samples.
+func mcTol(p float64, n int, s float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	return s*math.Sqrt(p*(1-p)/float64(n)) + 1e-9
+}

@@ -1,0 +1,207 @@
+package queueing
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"fpsping/internal/mgf"
+	"fpsping/internal/xmath"
+)
+
+// MEK1 is the M/E_K/1 queue: Poisson arrivals at rate Lambda, Erlang(K,
+// Beta) service. §3.2 points out that when bursts from *several* game
+// servers share the reserved downstream pipe, the N*D/G/1 superposition "is
+// very well approximated by M/G/1"; with Erlang burst work that limit is
+// exactly this queue, and its waiting-time MGF is rational, so it expands in
+// the same Erlang-term algebra as the D/E_K/1 solution:
+//
+//	W(s) = (1-rho) (beta-s)^K / Q(s),
+//
+// where s*Q(s) = (s+lambda)(beta-s)^K - lambda*beta^K (Pollaczek-Khinchine).
+type MEK1 struct {
+	Lambda float64 // arrival rate, 1/s
+	K      int     // Erlang order of the service
+	Beta   float64 // Erlang rate of the service, 1/s
+}
+
+// NewMEK1 validates parameters and stability.
+func NewMEK1(lambda float64, k int, beta float64) (MEK1, error) {
+	if !(lambda > 0) || k < 1 || !(beta > 0) {
+		return MEK1{}, fmt.Errorf("%w: lambda=%g K=%d beta=%g", ErrBadParam, lambda, k, beta)
+	}
+	q := MEK1{Lambda: lambda, K: k, Beta: beta}
+	if q.Load() >= 1 {
+		return MEK1{}, fmt.Errorf("%w: rho=%g", ErrUnstable, q.Load())
+	}
+	return q, nil
+}
+
+// String summarizes the queue.
+func (q MEK1) String() string { return fmt.Sprintf("M/E%d/1(rho=%.3g)", q.K, q.Load()) }
+
+// MeanService returns K/Beta.
+func (q MEK1) MeanService() float64 { return float64(q.K) / q.Beta }
+
+// Load returns rho = Lambda*K/Beta.
+func (q MEK1) Load() float64 { return q.Lambda * q.MeanService() }
+
+// MeanWait returns the Pollaczek-Khinchine mean waiting time
+// lambda*E[S^2]/(2(1-rho)) with E[S^2] = K(K+1)/beta^2.
+func (q MEK1) MeanWait() float64 {
+	k := float64(q.K)
+	es2 := k * (k + 1) / (q.Beta * q.Beta)
+	return q.Lambda * es2 / (2 * (1 - q.Load()))
+}
+
+// scaledPoly returns the coefficients (lowest degree first) of
+//
+//	S(z) = [(z+a)(1-z)^K - a] / z,   a = lambda/beta,
+//
+// the denominator of the waiting-time MGF in the scaled variable z = s/beta.
+// Working in z keeps every coefficient O(1), which the root finder needs
+// (the raw polynomial carries beta^K ~ 1e19 factors).
+func (q MEK1) scaledPoly() []complex128 {
+	k := q.K
+	a := complex(q.Lambda/q.Beta, 0)
+	// (1 - z)^K coefficients: b[j] = C(K,j)(-1)^j.
+	b := make([]complex128, k+1)
+	choose := 1.0
+	for j := 0; j <= k; j++ {
+		if j > 0 {
+			choose = choose * float64(k-j+1) / float64(j)
+		}
+		if j%2 == 1 {
+			b[j] = complex(-choose, 0)
+		} else {
+			b[j] = complex(choose, 0)
+		}
+	}
+	// R(z) = (z + a)*(1-z)^K - a: degree K+1, R(0) = 0 exactly.
+	r := make([]complex128, k+2)
+	for j := 0; j <= k; j++ {
+		r[j] += a * b[j]
+		r[j+1] += b[j]
+	}
+	r[0] -= a
+	// S = R/z.
+	return r[1:]
+}
+
+// scaledRoots solves the scaled denominator and polishes each root with
+// Newton steps on the factored identity h(z) = (z+a)(1-z)^K - a, whose
+// evaluation is far better conditioned than the expanded polynomial (no
+// binomial-coefficient cancellation).
+func (q MEK1) scaledRoots() ([]complex128, error) {
+	zs, err := xmath.PolyRoots(q.scaledPoly())
+	if err != nil {
+		return nil, fmt.Errorf("M/E%d/1 poles: %w", q.K, err)
+	}
+	a := complex(q.Lambda/q.Beta, 0)
+	kk := complex(float64(q.K), 0)
+	for i, z := range zs {
+		for iter := 0; iter < 30; iter++ {
+			om := 1 - z
+			omk1 := cmplx.Pow(om, kk-1)
+			h := (z+a)*omk1*om - a
+			dh := omk1 * (om - kk*(z+a))
+			if dh == 0 {
+				break
+			}
+			step := h / dh
+			z -= step
+			if cmplx.Abs(step) < 1e-16*(1+cmplx.Abs(z)) {
+				break
+			}
+		}
+		zs[i] = z
+	}
+	return zs, nil
+}
+
+// Poles returns the K poles of the waiting-time MGF: beta times the roots of
+// the scaled denominator. All have positive real part for a stable queue.
+func (q MEK1) Poles() ([]complex128, error) {
+	zs, err := q.scaledRoots()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(zs))
+	for i, z := range zs {
+		if real(z) <= 0 {
+			return nil, fmt.Errorf("M/E%d/1 pole %d = %v not in right half plane (rho=%g)",
+				q.K, i, complex(q.Beta, 0)*z, q.Load())
+		}
+		out[i] = complex(q.Beta, 0) * z
+	}
+	return out, nil
+}
+
+// WaitMix returns the exact waiting-time law as an Erlang-term mix:
+// W(s) = (1-rho) + sum_i c_i p_i/(p_i - s) with, in scaled coordinates
+// z_i = p_i/beta,
+//
+//	c_i = -(1-rho)(1-z_i)^K / (S'(z_i) z_i).
+func (q MEK1) WaitMix() (mgf.Mix, error) {
+	zs, err := q.scaledRoots()
+	if err != nil {
+		return mgf.Mix{}, err
+	}
+	ds := xmath.PolyDeriv(q.scaledPoly())
+	rho := q.Load()
+	var m mgf.Mix
+	m.Atom = 1 - rho
+	for _, z := range zs {
+		if real(z) <= 0 {
+			return mgf.Mix{}, fmt.Errorf("M/E%d/1: pole %v in left half plane (rho=%g)", q.K, z, q.Load())
+		}
+		den := xmath.PolyEval(ds, z) * z
+		if den == 0 {
+			return mgf.Mix{}, fmt.Errorf("M/E%d/1: repeated pole %v", q.K, z)
+		}
+		num := complex(1-rho, 0) * cmplx.Pow(1-z, complex(float64(q.K), 0))
+		m.AddTerm(complex(q.Beta, 0)*z, []complex128{-num / den})
+	}
+	if err := m.Validate(); err != nil {
+		return mgf.Mix{}, fmt.Errorf("M/E%d/1 wait mix (rho=%g): %w", q.K, q.Load(), err)
+	}
+	return m, nil
+}
+
+// PositionMixUniform returns the in-burst position law for a uniformly
+// placed packet of an Erlang(K, Beta) burst: identical to the D/E_K/1 case
+// (eq. 34), since it depends only on the burst-size law.
+func (q MEK1) PositionMixUniform() (mgf.Mix, error) {
+	if q.K < 2 {
+		return mgf.Mix{}, fmt.Errorf("%w: uniform position law needs K >= 2 (got %d)", ErrBadParam, q.K)
+	}
+	coef := make([]complex128, q.K-1)
+	w := complex(1/float64(q.K-1), 0)
+	for i := range coef {
+		coef[i] = w
+	}
+	var m mgf.Mix
+	m.AddTerm(complex(q.Beta, 0), coef)
+	return m, nil
+}
+
+// SimulateMEK1 validates the analytic law by the Lindley recursion with
+// exponential inter-arrivals and Erlang service.
+func SimulateMEK1(q MEK1, n int, seed uint64, probes []float64) (*SimResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	res := newSimResult(probes, topKFor(n))
+	r := newErlangSampler(q.K, q.Beta, seed)
+	w := 0.0
+	warmup := n / 10
+	for i := 0; i < n+warmup; i++ {
+		if i >= warmup {
+			res.add(w)
+		}
+		w += r.service() - r.interarrival(q.Lambda)
+		if w < 0 {
+			w = 0
+		}
+	}
+	return res, nil
+}

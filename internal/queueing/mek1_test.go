@@ -1,0 +1,196 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fpsping/internal/xmath"
+)
+
+func TestMEK1Validation(t *testing.T) {
+	if _, err := NewMEK1(0, 2, 1); err == nil {
+		t.Error("accepted lambda=0")
+	}
+	if _, err := NewMEK1(1, 0, 1); err == nil {
+		t.Error("accepted K=0")
+	}
+	if _, err := NewMEK1(1, 2, 1); !errors.Is(err, ErrUnstable) {
+		t.Error("accepted rho=2")
+	}
+	q, err := NewMEK1(10, 9, 150) // rho = 0.6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Load()-0.6) > 1e-12 {
+		t.Errorf("load = %v", q.Load())
+	}
+}
+
+func TestMEK1ReducesToMM1(t *testing.T) {
+	// K=1 is M/M/1: P(W > x) = rho e^{-(mu-lambda)x}.
+	lambda, mu := 3.0, 5.0
+	q, err := NewMEK1(lambda, 1, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.WaitMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	for _, x := range []float64{0, 0.3, 1, 3} {
+		want := rho * math.Exp(-(mu-lambda)*x)
+		if got := m.Tail(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("x=%v: %v want %v", x, got, want)
+		}
+	}
+	// Mean wait matches PK.
+	if math.Abs(m.Mean()-q.MeanWait()) > 1e-9 {
+		t.Errorf("mean %v vs PK %v", m.Mean(), q.MeanWait())
+	}
+}
+
+func TestMEK1PolesSolveDenominator(t *testing.T) {
+	for _, k := range []int{2, 5, 9, 20} {
+		for _, rho := range []float64{0.3, 0.6, 0.9} {
+			beta := 150.0
+			lambda := rho * beta / float64(k)
+			q, err := NewMEK1(lambda, k, beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			poles, err := q.Poles()
+			if err != nil {
+				t.Fatalf("K=%d rho=%v: %v", k, rho, err)
+			}
+			if len(poles) != k {
+				t.Fatalf("K=%d: %d poles", k, len(poles))
+			}
+			for _, p := range poles {
+				// Verify the defining identity in scaled coordinates,
+				// where all quantities are O(1): with z = p/beta and
+				// a = lambda/beta, (z+a)(1-z)^K = a.
+				z := p / complex(beta, 0)
+				a := complex(lambda/beta, 0)
+				lhs := (z + a) * cmplx.Pow(1-z, complex(float64(k), 0))
+				if cmplx.Abs(lhs-a) > 1e-9 {
+					t.Errorf("K=%d rho=%v: pole %v residual %v", k, rho, p, cmplx.Abs(lhs-a))
+				}
+			}
+		}
+	}
+}
+
+func TestMEK1WaitMixAgainstLindley(t *testing.T) {
+	cases := []struct {
+		k   int
+		rho float64
+	}{{2, 0.5}, {9, 0.6}, {9, 0.85}, {20, 0.7}}
+	for _, c := range cases {
+		beta := 300.0
+		lambda := c.rho * beta / float64(c.k)
+		q, err := NewMEK1(lambda, c.k, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := q.WaitMix()
+		if err != nil {
+			t.Fatalf("K=%d rho=%v: %v", c.k, c.rho, err)
+		}
+		mean := q.MeanWait()
+		probes := []float64{mean / 2, mean, 2 * mean, 4 * mean}
+		const n = 1_000_000
+		sim, err := SimulateMEK1(q, n, uint64(13*c.k), probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autocorr := 1 + 2/(1-c.rho)
+		for i, x := range probes {
+			want := m.Tail(x)
+			got := sim.TailAt(i)
+			tol := autocorr * mcTol(want, n, 6)
+			if math.Abs(got-want) > tol {
+				t.Errorf("K=%d rho=%v P(W>%v): analytic %v vs sim %v (tol %v)",
+					c.k, c.rho, x, want, got, tol)
+			}
+		}
+		if simMean := sim.Summary.Mean(); math.Abs(simMean-mean) > 0.05*mean {
+			t.Errorf("K=%d rho=%v mean: %v vs PK %v", c.k, c.rho, simMean, mean)
+		}
+	}
+}
+
+func TestMEK1VersusDEK1TailOrdering(t *testing.T) {
+	// Same service law and load: Poisson arrivals (M/E_K/1) are burstier
+	// than the deterministic clock (D/E_K/1), so the M-side waiting tail
+	// must dominate.
+	k, rho, T := 9, 0.6, 0.060
+	dq, err := NewDEK1(k, rho*T, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := NewMEK1(1/T, k, float64(k)/(rho*T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := dq.WaitMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := mq.WaitMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dq.Load()-mq.Load()) > 1e-12 {
+		t.Fatalf("loads differ: %v vs %v", dq.Load(), mq.Load())
+	}
+	for _, x := range []float64{0.01, 0.03, 0.06, 0.12} {
+		if mm.Tail(x) < dm.Tail(x) {
+			t.Errorf("x=%v: M/E_K/1 tail %v below D/E_K/1 %v", x, mm.Tail(x), dm.Tail(x))
+		}
+	}
+}
+
+func TestPolyRootsKnownPolynomials(t *testing.T) {
+	// (z-1)(z-2)(z-3) = z^3 - 6z^2 + 11z - 6.
+	roots, err := xmath.PolyRoots([]complex128{-6, 11, -6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, r := range roots {
+		for _, want := range []float64{1, 2, 3} {
+			if cmplx.Abs(r-complex(want, 0)) < 1e-8 {
+				found[int(want)] = true
+			}
+		}
+	}
+	if len(found) != 3 {
+		t.Errorf("roots %v", roots)
+	}
+	// z^2 + 1 = 0: conjugate pair.
+	roots, err = xmath.PolyRoots([]complex128{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(roots[0]*roots[1]-complex(1, 0)) > 1e-9 {
+		t.Errorf("product of roots %v", roots[0]*roots[1])
+	}
+	if _, err := xmath.PolyRoots([]complex128{5}); err == nil {
+		t.Error("accepted degree 0")
+	}
+}
+
+func BenchmarkMEK1WaitMix(b *testing.B) {
+	q, err := NewMEK1(10, 9, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := q.WaitMix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package queueing
+
+import (
+	"math/rand/v2"
+
+	"fpsping/internal/dist"
+)
+
+// erlangSampler bundles the random draws the Lindley validators need.
+type erlangSampler struct {
+	rng *rand.Rand
+	erl dist.Erlang
+}
+
+func newErlangSampler(k int, beta float64, seed uint64) *erlangSampler {
+	e, err := dist.NewErlang(k, beta)
+	if err != nil {
+		panic(err) // callers validate k/beta before reaching here
+	}
+	return &erlangSampler{rng: dist.NewRNG(seed), erl: e}
+}
+
+// service draws one Erlang(K, beta) service time.
+func (s *erlangSampler) service() float64 { return s.erl.Sample(s.rng) }
+
+// interarrival draws one exponential inter-arrival at the given rate.
+func (s *erlangSampler) interarrival(lambda float64) float64 {
+	return s.rng.ExpFloat64() / lambda
+}

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpsping/internal/stats"
+)
+
+// BurstGroup is one reconstructed server burst: the packets of one tick.
+type BurstGroup struct {
+	// Time is the first packet's timestamp.
+	Time float64
+	// Records are the burst's packets in capture order.
+	Records []Record
+	// TotalBytes sums the packet sizes: the Figure 1 random variable.
+	TotalBytes int
+}
+
+// GroupBurstsByID groups downstream records by their Burst tag. Records with
+// Burst < 0 are ignored. Groups come out in time order.
+func GroupBurstsByID(t *Trace) []BurstGroup {
+	byID := map[int][]Record{}
+	for _, r := range t.Records() {
+		if r.Flow.Direction() == DirDownstream && r.Burst >= 0 {
+			byID[r.Burst] = append(byID[r.Burst], r)
+		}
+	}
+	out := make([]BurstGroup, 0, len(byID))
+	for _, recs := range byID {
+		g := BurstGroup{Time: recs[0].Time, Records: recs}
+		for _, r := range recs {
+			g.TotalBytes += r.Size
+			if r.Time < g.Time {
+				g.Time = r.Time
+			}
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// GroupBurstsByGap reconstructs bursts from timing alone, as one must with a
+// raw capture: consecutive downstream packets separated by less than
+// gapThreshold seconds belong to the same burst. The paper's own trace
+// analysis works this way (§2.2: bursts "arrive at regular intervals").
+func GroupBurstsByGap(t *Trace, gapThreshold float64) []BurstGroup {
+	down := t.FilterDirection(DirDownstream)
+	down.SortByTime()
+	recs := down.Records()
+	var out []BurstGroup
+	for i := 0; i < len(recs); {
+		g := BurstGroup{Time: recs[i].Time}
+		j := i
+		for ; j < len(recs); j++ {
+			if j > i && recs[j].Time-recs[j-1].Time >= gapThreshold {
+				break
+			}
+			g.Records = append(g.Records, recs[j])
+			g.TotalBytes += recs[j].Size
+		}
+		out = append(out, g)
+		i = j
+	}
+	return out
+}
+
+// DirectionStats is one row pair of Table 3 for a direction.
+type DirectionStats struct {
+	// PacketSize summarizes packet sizes in bytes.
+	PacketSize stats.Summary
+	// IAT summarizes inter-arrival times in seconds (per client flow
+	// upstream; per burst downstream).
+	IAT stats.Summary
+	// BurstSize summarizes burst totals in bytes (downstream only).
+	BurstSize stats.Summary
+	// WithinBurstCoV is the mean per-burst packet-size CoV (§2.2 reports
+	// 0.05-0.11, much below the overall CoV).
+	WithinBurstCoV float64
+}
+
+// TableStats is the full Table 3 readout of a trace.
+type TableStats struct {
+	Upstream   DirectionStats
+	Downstream DirectionStats
+	// Bursts is the number of reconstructed bursts.
+	Bursts int
+	// PacketsPerBurst summarizes the burst packet counts (the paper checks
+	// "all bursts contain 1 packet for each of the players").
+	PacketsPerBurst stats.Summary
+}
+
+// Analyze computes the Table 3 statistics. Bursts are grouped by ID when
+// tags are present, otherwise by gap with the given threshold.
+func Analyze(t *Trace, gapThreshold float64) (TableStats, error) {
+	if t.Len() == 0 {
+		return TableStats{}, ErrEmptyTrace
+	}
+	var out TableStats
+
+	// Upstream: packet sizes pooled; IATs per client flow, pooled.
+	up := t.FilterDirection(DirUpstream)
+	up.SortByTime()
+	for _, r := range up.Records() {
+		out.Upstream.PacketSize.Add(float64(r.Size))
+	}
+	for _, recs := range up.ByFlow() {
+		for i := 1; i < len(recs); i++ {
+			out.Upstream.IAT.Add(recs[i].Time - recs[i-1].Time)
+		}
+	}
+
+	// Downstream: per-packet sizes, burst grouping, burst IATs and totals.
+	down := t.FilterDirection(DirDownstream)
+	for _, r := range down.Records() {
+		out.Downstream.PacketSize.Add(float64(r.Size))
+	}
+	groups := GroupBurstsByID(t)
+	if len(groups) == 0 {
+		groups = GroupBurstsByGap(t, gapThreshold)
+	}
+	out.Bursts = len(groups)
+	var withinSum float64
+	var withinN int
+	for i, g := range groups {
+		out.Downstream.BurstSize.Add(float64(g.TotalBytes))
+		out.PacketsPerBurst.Add(float64(len(g.Records)))
+		if i > 0 {
+			out.Downstream.IAT.Add(g.Time - groups[i-1].Time)
+		}
+		if len(g.Records) > 1 {
+			var s stats.Summary
+			for _, r := range g.Records {
+				s.Add(float64(r.Size))
+			}
+			if c := s.CoV(); !math.IsNaN(c) && !math.IsInf(c, 0) {
+				withinSum += c
+				withinN++
+			}
+		}
+	}
+	if withinN > 0 {
+		out.Downstream.WithinBurstCoV = withinSum / float64(withinN)
+	}
+	return out, nil
+}
+
+// BurstTotals extracts burst sizes (bytes) for Figure 1 style tail analysis.
+func BurstTotals(groups []BurstGroup) []float64 {
+	out := make([]float64, len(groups))
+	for i, g := range groups {
+		out[i] = float64(g.TotalBytes)
+	}
+	return out
+}
+
+// FormatTable renders the stats in the paper's Table 3 layout (sizes in
+// bytes, times in ms).
+func (ts TableStats) FormatTable() string {
+	ms := func(s stats.Summary) string {
+		return fmt.Sprintf("%.1f ms (CoV %.2f)", 1e3*s.Mean(), s.CoV())
+	}
+	by := func(s stats.Summary) string {
+		return fmt.Sprintf("%.0f B (CoV %.2f)", s.Mean(), s.CoV())
+	}
+	return fmt.Sprintf(
+		"                       Server to client        Client to server\n"+
+			"Packet size            %-24s%s\n"+
+			"Burst inter-arrival    %-24s%s\n"+
+			"Burst size             %-24s-\n"+
+			"Within-burst size CoV  %.3f\n"+
+			"Bursts                 %d (packets/burst mean %.2f)\n",
+		by(ts.Downstream.PacketSize), by(ts.Upstream.PacketSize),
+		ms(ts.Downstream.IAT), ms(ts.Upstream.IAT),
+		by(ts.Downstream.BurstSize),
+		ts.Downstream.WithinBurstCoV,
+		ts.Bursts, ts.PacketsPerBurst.Mean(),
+	)
+}
+
+// OrderStability measures how often consecutive bursts deliver their packets
+// in the same client order: the §2.2 question of whether "the order of the
+// packets (at the moment the server sends the burst) is the same for each
+// burst" - Färber's per-client inter-arrival model tacitly assumes it is,
+// and the paper warns it may not be. 1 means perfectly stable order; values
+// near zero mean the order is reshuffled every tick.
+func OrderStability(groups []BurstGroup) float64 {
+	if len(groups) < 2 {
+		return math.NaN()
+	}
+	same := 0
+	comparable := 0
+	prev := clientOrder(groups[0])
+	for _, g := range groups[1:] {
+		cur := clientOrder(g)
+		if len(cur) == len(prev) {
+			comparable++
+			if equalOrder(prev, cur) {
+				same++
+			}
+		}
+		prev = cur
+	}
+	if comparable == 0 {
+		return math.NaN()
+	}
+	return float64(same) / float64(comparable)
+}
+
+func clientOrder(g BurstGroup) []uint16 {
+	out := make([]uint16, len(g.Records))
+	for i, r := range g.Records {
+		out[i] = r.Flow.Dst.ID
+	}
+	return out
+}
+
+func equalOrder(a, b []uint16) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

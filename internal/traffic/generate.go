@@ -1,0 +1,205 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// PacketEvent is one generated packet: an emission time and a size. Client
+// identifies the player for server bursts (and the source player for client
+// flows).
+type PacketEvent struct {
+	// Time is the emission instant in seconds from the generation origin.
+	Time float64
+	// Size is the packet size in bytes.
+	Size int
+	// Client is the player index the packet belongs to.
+	Client int
+}
+
+// Burst groups the per-client packets of one server tick.
+type Burst struct {
+	// Time is the tick instant in seconds.
+	Time float64
+	// Sizes holds one packet size per client, in client order.
+	Sizes []int
+	// TotalBytes is the burst size (the random variable of Figure 1).
+	TotalBytes int
+}
+
+// GenerateClient produces the packets of one client flow from time `phase`
+// until `duration`, drawing IATs and sizes from the flow's laws.
+func (f FlowSpec) GenerateClient(r *rand.Rand, client int, phase, duration float64) ([]PacketEvent, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("%w: duration %g", ErrBadSpec, duration)
+	}
+	var out []PacketEvent
+	t := phase
+	for t < duration {
+		size := int(f.Size.Sample(r) + 0.5)
+		if size < 1 {
+			size = 1
+		}
+		out = append(out, PacketEvent{Time: t, Size: size, Client: client})
+		iat := f.IAT.Sample(r)
+		if iat <= 0 {
+			iat = 1e-6 // guard degenerate draws from wide laws
+		}
+		t += iat
+	}
+	return out, nil
+}
+
+// GenerateBursts produces the server tick bursts for n clients over
+// `duration` seconds: each burst carries one independently sized packet per
+// client (§2: "in each burst, the server generates one packet for every
+// active client").
+func (s ServerSpec) GenerateBursts(r *rand.Rand, clients int, duration float64) ([]Burst, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if clients < 1 || duration <= 0 {
+		return nil, fmt.Errorf("%w: clients=%d duration=%g", ErrBadSpec, clients, duration)
+	}
+	var out []Burst
+	t := 0.0
+	for t < duration {
+		b := Burst{Time: t, Sizes: make([]int, clients)}
+		for c := 0; c < clients; c++ {
+			size := int(s.PacketSize.Sample(r) + 0.5)
+			if size < 1 {
+				size = 1
+			}
+			b.Sizes[c] = size
+			b.TotalBytes += size
+		}
+		out = append(out, b)
+		iat := s.IAT.Sample(r)
+		if iat <= 0 {
+			iat = 1e-6
+		}
+		t += iat
+	}
+	return out, nil
+}
+
+// Session is a fully generated game session: per-player upstream packets and
+// the server's downstream bursts, both sorted by time.
+type Session struct {
+	// Model echoes the source model.
+	Model Model
+	// Players is the number of players generated.
+	Players int
+	// Duration is the generated horizon in seconds.
+	Duration float64
+	// Upstream holds all client packets from all players and flows, merged
+	// and time-sorted.
+	Upstream []PacketEvent
+	// Bursts holds the server ticks in time order.
+	Bursts []Burst
+}
+
+// Generate builds a session: every player runs every client flow with an
+// independent random phase (the random phasing assumption of §2.3.1), and
+// the server runs its burst process.
+func (m Model) Generate(r *rand.Rand, players int, duration float64) (*Session, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if players < 1 || duration <= 0 {
+		return nil, fmt.Errorf("%w: players=%d duration=%g", ErrBadSpec, players, duration)
+	}
+	s := &Session{Model: m, Players: players, Duration: duration}
+	for p := 0; p < players; p++ {
+		for _, f := range m.Client {
+			phase := r.Float64() * f.IAT.Mean()
+			evts, err := f.GenerateClient(r, p, phase, duration)
+			if err != nil {
+				return nil, err
+			}
+			s.Upstream = append(s.Upstream, evts...)
+		}
+	}
+	sort.Slice(s.Upstream, func(i, j int) bool { return s.Upstream[i].Time < s.Upstream[j].Time })
+	bursts, err := m.Server.GenerateBursts(r, players, duration)
+	if err != nil {
+		return nil, err
+	}
+	s.Bursts = bursts
+	return s, nil
+}
+
+// BurstTotals extracts the burst sizes in bytes: the Figure 1 sample.
+func (s *Session) BurstTotals() []float64 {
+	out := make([]float64, len(s.Bursts))
+	for i, b := range s.Bursts {
+		out[i] = float64(b.TotalBytes)
+	}
+	return out
+}
+
+// BurstIATs extracts the burst inter-arrival times in seconds.
+func (s *Session) BurstIATs() []float64 {
+	if len(s.Bursts) < 2 {
+		return nil
+	}
+	out := make([]float64, len(s.Bursts)-1)
+	for i := 1; i < len(s.Bursts); i++ {
+		out[i-1] = s.Bursts[i].Time - s.Bursts[i-1].Time
+	}
+	return out
+}
+
+// ServerPacketSizes flattens all per-client packet sizes of all bursts.
+func (s *Session) ServerPacketSizes() []float64 {
+	var out []float64
+	for _, b := range s.Bursts {
+		for _, sz := range b.Sizes {
+			out = append(out, float64(sz))
+		}
+	}
+	return out
+}
+
+// ClientPacketSizes extracts all upstream packet sizes.
+func (s *Session) ClientPacketSizes() []float64 {
+	out := make([]float64, len(s.Upstream))
+	for i, e := range s.Upstream {
+		out[i] = float64(e.Size)
+	}
+	return out
+}
+
+// ClientIATs extracts per-player upstream inter-arrival times, pooled across
+// players (the per-flow view Table 3 reports).
+func (s *Session) ClientIATs() []float64 {
+	last := map[int]float64{}
+	var out []float64
+	for _, e := range s.Upstream {
+		if prev, ok := last[e.Client]; ok {
+			out = append(out, e.Time-prev)
+		}
+		last[e.Client] = e.Time
+	}
+	return out
+}
+
+// OfferedDownstreamBitRate returns the average downstream offered rate for n
+// clients: 8 * n * E[size] / E[IAT].
+func (m Model) OfferedDownstreamBitRate(clients int) float64 {
+	return 8 * float64(clients) * m.Server.PacketSize.Mean() / m.Server.IAT.Mean()
+}
+
+// OfferedUpstreamBitRate returns the per-client upstream offered rate summed
+// over flows.
+func (m Model) OfferedUpstreamBitRate() float64 {
+	var r float64
+	for _, f := range m.Client {
+		r += f.MeanRateBitPerSec()
+	}
+	return r
+}

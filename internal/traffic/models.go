@@ -1,0 +1,307 @@
+// Package traffic encodes the FPS traffic source models of the paper's §2:
+// Färber's Counter-Strike model (Table 1), Lang et al.'s Half-Life (Table 2),
+// Halo and Quake3 models (§2.1), and the Unreal Tournament 2003 model behind
+// the authors' own LAN measurements (Table 3). Each model pairs packet-size
+// and inter-arrival laws for both directions and can generate timestamped
+// packet streams for the simulator.
+//
+// Parameters marked "paper" are lifted directly from the cited tables;
+// parameters marked "calibrated" are our choices where the sources state only
+// qualitative dependencies (e.g. "depends on the map"). The reproduction's
+// substitution policy (DESIGN.md §2) is to generate from these models instead
+// of replaying proprietary traces.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fpsping/internal/dist"
+)
+
+// ErrBadSpec reports an invalid flow or model specification.
+var ErrBadSpec = errors.New("traffic: invalid specification")
+
+// FlowSpec is one packet flow: a size law (bytes) and an inter-arrival law
+// (seconds). Rate is derived: mean size / mean IAT.
+type FlowSpec struct {
+	// Name labels the flow (e.g. "client update").
+	Name string
+	// Size is the packet size law in bytes.
+	Size dist.Distribution
+	// IAT is the packet inter-arrival law in seconds.
+	IAT dist.Distribution
+}
+
+// Validate checks both laws exist and have positive means.
+func (f FlowSpec) Validate() error {
+	if f.Size == nil || f.IAT == nil {
+		return fmt.Errorf("%w: flow %q missing laws", ErrBadSpec, f.Name)
+	}
+	if !(f.Size.Mean() > 0) || !(f.IAT.Mean() > 0) {
+		return fmt.Errorf("%w: flow %q nonpositive means", ErrBadSpec, f.Name)
+	}
+	return nil
+}
+
+// MeanRateBitPerSec returns the flow's average bit rate.
+func (f FlowSpec) MeanRateBitPerSec() float64 {
+	return 8 * f.Size.Mean() / f.IAT.Mean()
+}
+
+// ServerSpec describes the downstream burst process: every IAT the server
+// emits one packet per connected client, each with an independent PacketSize.
+type ServerSpec struct {
+	// PacketSize is the per-client packet size law in bytes.
+	PacketSize dist.Distribution
+	// IAT is the burst (tick) inter-arrival law in seconds.
+	IAT dist.Distribution
+}
+
+// Validate checks the spec.
+func (s ServerSpec) Validate() error {
+	if s.PacketSize == nil || s.IAT == nil {
+		return fmt.Errorf("%w: server spec missing laws", ErrBadSpec)
+	}
+	if !(s.PacketSize.Mean() > 0) || !(s.IAT.Mean() > 0) {
+		return fmt.Errorf("%w: server spec nonpositive means", ErrBadSpec)
+	}
+	return nil
+}
+
+// Model is a complete per-game traffic description.
+type Model struct {
+	// Name identifies the game.
+	Name string
+	// Source cites where the parameters come from.
+	Source string
+	// Server is the downstream burst process.
+	Server ServerSpec
+	// Client lists the upstream flows per player (usually one; Halo has
+	// two classes).
+	Client []FlowSpec
+	// Notes records parameter provenance and calibration decisions.
+	Notes string
+}
+
+// Validate checks every component.
+func (m Model) Validate() error {
+	if err := m.Server.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", m.Name, err)
+	}
+	if len(m.Client) == 0 {
+		return fmt.Errorf("%w: %s has no client flows", ErrBadSpec, m.Name)
+	}
+	for _, f := range m.Client {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// msDet wraps a millisecond constant as a Det law in seconds.
+func msDet(ms float64) dist.Distribution { return dist.NewDeterministic(ms / 1000) }
+
+// msGumbel builds Ext(a, b) on a millisecond scale, returned in seconds.
+func msGumbel(aMs, bMs float64) dist.Distribution {
+	g, err := dist.NewGumbel(aMs/1000, bMs/1000)
+	if err != nil {
+		panic(err) // constants below are valid by construction
+	}
+	return g
+}
+
+func mustGumbel(a, b float64) dist.Distribution {
+	g, err := dist.NewGumbel(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustLogNormalMoments(mean, cov float64) dist.Distribution {
+	l, err := dist.LogNormalByMoments(mean, cov)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func mustNormal(mu, sigma float64) dist.Distribution {
+	n, err := dist.NewNormal(mu, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// CounterStrike returns Färber's Counter-Strike model, Table 1 (all
+// parameters "paper"): server packets Ext(120, 36) B in bursts every
+// Ext(55, 6) ms; client packets Ext(80, 5.7) B every Det(40) ms.
+func CounterStrike() Model {
+	return Model{
+		Name:   "Counter-Strike",
+		Source: "Färber, NetGames 2002 (paper Table 1)",
+		Server: ServerSpec{
+			PacketSize: mustGumbel(120, 36),
+			IAT:        msGumbel(55, 6),
+		},
+		Client: []FlowSpec{{
+			Name: "client update",
+			Size: mustGumbel(80, 5.7),
+			IAT:  msDet(40),
+		}},
+		Notes: "All four laws are the paper's Table 1 approximations; " +
+			"measured means/CoVs were 127B/0.74, 62ms/0.5, 82B/0.12, 42ms/0.24.",
+	}
+}
+
+// HalfLifeMaps lists the map-dependent server packet-size laws for the
+// Half-Life model. Lang et al. report lognormal fits whose parameters depend
+// on the map; the table's concrete values are calibrated, the family and the
+// dependency are "paper".
+var HalfLifeMaps = map[string]struct{ Mean, CoV float64 }{
+	"crossfire": {126, 0.35},
+	"dust":      {142, 0.42},
+	"office":    {110, 0.30},
+}
+
+// HalfLife returns Lang et al.'s Half-Life model, Table 2: Det(60) ms bursts,
+// map-dependent lognormal server sizes, Det(41) ms client IATs, (log)normal
+// client sizes in the 60-90 B range. Unknown map names fall back to
+// "crossfire".
+func HalfLife(mapName string) Model {
+	p, ok := HalfLifeMaps[mapName]
+	if !ok {
+		mapName = "crossfire"
+		p = HalfLifeMaps[mapName]
+	}
+	return Model{
+		Name:   "Half-Life (" + mapName + ")",
+		Source: "Lang et al., ATNAC 2003 (paper Table 2)",
+		Server: ServerSpec{
+			PacketSize: mustLogNormalMoments(p.Mean, p.CoV),
+			IAT:        msDet(60),
+		},
+		Client: []FlowSpec{{
+			Name: "client update",
+			Size: mustNormal(75, 7), // calibrated within the paper's 60-90B range
+			IAT:  msDet(41),
+		}},
+		Notes: "Burst Det(60ms) and client Det(41ms) are paper values; the lognormal " +
+			"size parameters per map are calibrated (the source gives only the family " +
+			"and the map dependency).",
+	}
+}
+
+// Halo returns Lang et al.'s Xbox System Link Halo model (§2.1): Det(40) ms
+// bursts with player-dependent deterministic packet sizes; client traffic is
+// two periodic classes - 33% fixed 72 B packets every 201 ms, and 67% with
+// player-dependent size on a hardware-dependent period (calibrated to 50 ms).
+func Halo(playersPerBox int) Model {
+	if playersPerBox < 1 {
+		playersPerBox = 1
+	}
+	// Calibrated linear size growth with players; source states the
+	// dependency, not the slope.
+	serverSize := 60 + 20*float64(playersPerBox)
+	clientBig := 50 + 14*float64(playersPerBox)
+	return Model{
+		Name:   fmt.Sprintf("Halo (%d players/box)", playersPerBox),
+		Source: "Lang & Armitage, ATNAC 2003 (paper §2.1)",
+		Server: ServerSpec{
+			PacketSize: dist.NewDeterministic(serverSize),
+			IAT:        msDet(40),
+		},
+		Client: []FlowSpec{
+			{
+				Name: "state beacon (33%)",
+				Size: dist.NewDeterministic(72),
+				IAT:  msDet(201),
+			},
+			{
+				Name: "player update (67%)",
+				Size: dist.NewDeterministic(clientBig),
+				IAT:  msDet(50), // calibrated: "depends on the client Xbox hardware"
+			},
+		},
+		Notes: "Det(40ms) bursts, 72B/201ms beacon class and the strong periodicity are " +
+			"paper statements; size slopes and the 50ms update period are calibrated.",
+	}
+}
+
+// Quake3 returns Lang et al.'s Quake3 model (§2.1): the server sends one
+// update per client roughly every 50 ms with player-count-dependent sizes in
+// the 50-400 B band; client packets are 50-70 B with map/graphics-dependent
+// IATs of 10-30 ms.
+func Quake3(players int, clientIATMs float64) Model {
+	if players < 1 {
+		players = 1
+	}
+	if clientIATMs < 10 {
+		clientIATMs = 10
+	}
+	if clientIATMs > 30 {
+		clientIATMs = 30
+	}
+	// Calibrated size law: grows with players, clipped to the paper's
+	// 50-400 B observation band via the lognormal body.
+	mean := math.Min(50+22*float64(players), 360)
+	return Model{
+		Name:   fmt.Sprintf("Quake3 (%d players)", players),
+		Source: "Lang, Branch, Armitage, ACE 2004 (paper §2.1)",
+		Server: ServerSpec{
+			PacketSize: mustLogNormalMoments(mean, 0.25),
+			IAT:        msDet(50),
+		},
+		Client: []FlowSpec{{
+			Name: "client update",
+			Size: mustNormal(60, 4), // paper: 50-70 B, parameter-independent
+			IAT:  msDet(clientIATMs),
+		}},
+		Notes: "50ms server tick, 50-400B server band, 50-70B client packets and the " +
+			"10-30ms client IAT band are paper statements; the size-vs-players slope " +
+			"and CoV are calibrated.",
+	}
+}
+
+// UnrealTournament returns the model behind the paper's own measurements
+// (§2.2, Table 3): server packets mean 154 B / CoV 0.28 in bursts every
+// 47 ms (CoV 0.07), one packet per player; client packets 73 B / CoV 0.06
+// every 30 ms with CoV 0.65. Families are calibrated (lognormal sizes,
+// normal burst IAT, lognormal client IAT); the moments are the paper's.
+func UnrealTournament() Model {
+	iat, err := dist.LogNormalByMoments(0.030, 0.65)
+	if err != nil {
+		panic(err)
+	}
+	return Model{
+		Name:   "Unreal Tournament 2003",
+		Source: "paper §2.2, Table 3 (12-player LAN trace)",
+		Server: ServerSpec{
+			PacketSize: mustLogNormalMoments(154, 0.28),
+			IAT:        mustNormal(0.047, 0.07*0.047),
+		},
+		Client: []FlowSpec{{
+			Name: "client update",
+			Size: mustNormal(73, 0.06*73),
+			IAT:  iat,
+		}},
+		Notes: "Moments are Table 3; distribution families are calibrated. The " +
+			"burst-size law (mean 1852B, CoV 0.19) emerges from 12 per-player packets.",
+	}
+}
+
+// AllModels returns the registry of named models with representative
+// parameters, for CLI listing and table generation.
+func AllModels() []Model {
+	return []Model{
+		CounterStrike(),
+		HalfLife("crossfire"),
+		Halo(2),
+		Quake3(8, 20),
+		UnrealTournament(),
+	}
+}

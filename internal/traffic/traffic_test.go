@@ -1,0 +1,281 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/stats"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range AllModels() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.Source == "" || m.Notes == "" {
+			t.Errorf("%s: missing provenance", m.Name)
+		}
+	}
+}
+
+func TestCounterStrikeMatchesTable1(t *testing.T) {
+	// Table 1's approximations: Ext(120,36) server sizes, Ext(55,6)ms burst
+	// IATs, Ext(80,5.7) client sizes, Det(40)ms client IATs. Sampling the
+	// model must reproduce the law means.
+	m := CounterStrike()
+	r := dist.NewRNG(101)
+	ss := dist.SampleN(m.Server.PacketSize, r, 200_000)
+	sum := stats.Describe(ss)
+	wantMean := 120 + dist.EulerGamma*36
+	if math.Abs(sum.Mean()-wantMean) > 1 {
+		t.Errorf("server size mean %v, want ~%v", sum.Mean(), wantMean)
+	}
+	iat := dist.SampleN(m.Server.IAT, r, 200_000)
+	isum := stats.Describe(iat)
+	wantIAT := (55 + dist.EulerGamma*6) / 1000
+	if math.Abs(isum.Mean()-wantIAT) > 0.0003 {
+		t.Errorf("burst IAT mean %v, want ~%v", isum.Mean(), wantIAT)
+	}
+	if m.Client[0].IAT.Mean() != 0.040 {
+		t.Errorf("client IAT %v, want 0.040", m.Client[0].IAT.Mean())
+	}
+	cs := dist.SampleN(m.Client[0].Size, r, 100_000)
+	csum := stats.Describe(cs)
+	if math.Abs(csum.Mean()-(80+dist.EulerGamma*5.7)) > 0.5 {
+		t.Errorf("client size mean %v", csum.Mean())
+	}
+	// Paper notes the measured client CoV 0.12; Ext(80,5.7) gives ~0.09.
+	if c := csum.CoV(); c < 0.05 || c > 0.15 {
+		t.Errorf("client size CoV %v out of band", c)
+	}
+}
+
+func TestHalfLifeMatchesTable2(t *testing.T) {
+	m := HalfLife("crossfire")
+	if m.Server.IAT.Mean() != 0.060 {
+		t.Errorf("burst IAT %v, want Det(60ms)", m.Server.IAT.Mean())
+	}
+	if m.Client[0].IAT.Mean() != 0.041 {
+		t.Errorf("client IAT %v, want Det(41ms)", m.Client[0].IAT.Mean())
+	}
+	// Map dependency: different maps change the server size law.
+	m2 := HalfLife("dust")
+	if m.Server.PacketSize.Mean() == m2.Server.PacketSize.Mean() {
+		t.Error("map dependency missing")
+	}
+	// Unknown maps fall back.
+	m3 := HalfLife("nosuchmap")
+	if m3.Server.PacketSize.Mean() != m.Server.PacketSize.Mean() {
+		t.Error("fallback map broken")
+	}
+	// Client sizes live in the paper's 60-90B band (middle 99%).
+	if q := m.Client[0].Size.Quantile(0.005); q < 55 {
+		t.Errorf("client size p0.5%% = %v", q)
+	}
+	if q := m.Client[0].Size.Quantile(0.995); q > 95 {
+		t.Errorf("client size p99.5%% = %v", q)
+	}
+}
+
+func TestHaloTwoClientClasses(t *testing.T) {
+	m := Halo(2)
+	if len(m.Client) != 2 {
+		t.Fatalf("client flows = %d, want 2", len(m.Client))
+	}
+	// Beacon class: fixed 72B every 201ms (paper).
+	if m.Client[0].Size.Mean() != 72 || m.Client[0].IAT.Mean() != 0.201 {
+		t.Errorf("beacon class %v/%v", m.Client[0].Size.Mean(), m.Client[0].IAT.Mean())
+	}
+	if m.Server.IAT.Mean() != 0.040 {
+		t.Errorf("server IAT %v", m.Server.IAT.Mean())
+	}
+	// Player dependency.
+	if Halo(4).Server.PacketSize.Mean() <= Halo(1).Server.PacketSize.Mean() {
+		t.Error("server size should grow with players")
+	}
+	// Everything deterministic: System Link traffic is "strongly periodic".
+	if dist.CoV(m.Server.PacketSize) != 0 || dist.CoV(m.Client[1].IAT) != 0 {
+		t.Error("Halo flows should be deterministic")
+	}
+}
+
+func TestQuake3Bands(t *testing.T) {
+	m := Quake3(8, 20)
+	if m.Server.IAT.Mean() != 0.050 {
+		t.Errorf("server tick %v, want 50ms", m.Server.IAT.Mean())
+	}
+	// Server sizes stay in the paper's 50-400B band for the bulk.
+	if q := m.Server.PacketSize.Quantile(0.99); q > 420 {
+		t.Errorf("server size p99 = %v", q)
+	}
+	// Client sizes 50-70B.
+	if q := m.Client[0].Size.Quantile(0.01); q < 45 {
+		t.Errorf("client size p1 = %v", q)
+	}
+	if q := m.Client[0].Size.Quantile(0.99); q > 75 {
+		t.Errorf("client size p99 = %v", q)
+	}
+	// IAT clamped to the 10-30ms band.
+	if Quake3(2, 5).Client[0].IAT.Mean() != 0.010 {
+		t.Error("IAT clamp low broken")
+	}
+	if Quake3(2, 99).Client[0].IAT.Mean() != 0.030 {
+		t.Error("IAT clamp high broken")
+	}
+	// Player dependency on server sizes.
+	if Quake3(16, 20).Server.PacketSize.Mean() <= Quake3(2, 20).Server.PacketSize.Mean() {
+		t.Error("player dependency missing")
+	}
+}
+
+func TestUnrealTournamentMatchesTable3Moments(t *testing.T) {
+	m := UnrealTournament()
+	r := dist.NewRNG(102)
+	cases := []struct {
+		name     string
+		d        dist.Distribution
+		mean     float64
+		cov      float64
+		meanTol  float64
+		covTol   float64
+		absolute bool
+	}{
+		{"server size", m.Server.PacketSize, 154, 0.28, 0.02, 0.02, false},
+		{"burst IAT", m.Server.IAT, 0.047, 0.07, 0.02, 0.02, false},
+		{"client size", m.Client[0].Size, 73, 0.06, 0.02, 0.02, false},
+		{"client IAT", m.Client[0].IAT, 0.030, 0.65, 0.02, 0.04, false},
+	}
+	for _, c := range cases {
+		xs := dist.SampleN(c.d, r, 300_000)
+		s := stats.Describe(xs)
+		if math.Abs(s.Mean()-c.mean)/c.mean > c.meanTol {
+			t.Errorf("%s mean %v, want %v", c.name, s.Mean(), c.mean)
+		}
+		if math.Abs(s.CoV()-c.cov) > c.covTol+0.02*c.cov {
+			t.Errorf("%s CoV %v, want %v", c.name, s.CoV(), c.cov)
+		}
+	}
+}
+
+func TestUnrealBurstTotalsMatchTable3(t *testing.T) {
+	// 12 players, six minutes (the paper's trace length): burst totals must
+	// land near mean 1852B with CoV ~0.19*... Table 3's burst CoV includes
+	// per-packet correlation we don't model, so expect CoV near
+	// 0.28/sqrt(12) ~ 0.081 from independence; assert mean and that CoV is
+	// small but nonzero. (Table 3's 0.19 needs within-burst correlation -
+	// see the netsim LAN experiment, which injects it.)
+	m := UnrealTournament()
+	r := dist.NewRNG(103)
+	s, err := m.Generate(r, 12, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := s.BurstTotals()
+	if len(totals) < 7000 {
+		t.Fatalf("only %d bursts in six minutes", len(totals))
+	}
+	sum := stats.Describe(totals)
+	if math.Abs(sum.Mean()-12*154)/1848 > 0.02 {
+		t.Errorf("burst mean %v, want ~1848", sum.Mean())
+	}
+	if c := sum.CoV(); c < 0.05 || c > 0.12 {
+		t.Errorf("independent-size burst CoV %v, want ~0.08", c)
+	}
+}
+
+func TestGenerateSessionStructure(t *testing.T) {
+	m := CounterStrike()
+	r := dist.NewRNG(104)
+	s, err := m.Generate(r, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upstream sorted, with all client ids present.
+	seen := map[int]bool{}
+	for i, e := range s.Upstream {
+		if i > 0 && e.Time < s.Upstream[i-1].Time {
+			t.Fatal("upstream not sorted")
+		}
+		if e.Size < 1 {
+			t.Fatal("nonpositive size")
+		}
+		seen[e.Client] = true
+	}
+	for c := 0; c < 4; c++ {
+		if !seen[c] {
+			t.Errorf("client %d missing", c)
+		}
+	}
+	// Every burst has one packet per client.
+	for _, b := range s.Bursts {
+		if len(b.Sizes) != 4 {
+			t.Fatalf("burst with %d packets", len(b.Sizes))
+		}
+		total := 0
+		for _, sz := range b.Sizes {
+			total += sz
+		}
+		if total != b.TotalBytes {
+			t.Fatal("burst total inconsistent")
+		}
+	}
+	// Client IATs of the Det(40ms) flow are all 40ms.
+	for _, iat := range s.ClientIATs() {
+		if math.Abs(iat-0.040) > 1e-9 {
+			t.Fatalf("client IAT %v, want det 40ms", iat)
+		}
+	}
+	// Rates: 4 clients at ~mean size/IAT.
+	wantDown := m.OfferedDownstreamBitRate(4)
+	sizeSum := stats.Describe(s.ServerPacketSizes())
+	gotDown := 8 * sizeSum.Mean() * float64(len(s.Bursts)) * 4 / 30
+	if math.Abs(gotDown-wantDown)/wantDown > 0.05 {
+		t.Errorf("downstream rate %v, want ~%v", gotDown, wantDown)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	m := CounterStrike()
+	r := dist.NewRNG(105)
+	if _, err := m.Generate(r, 0, 10); err == nil {
+		t.Error("accepted zero players")
+	}
+	if _, err := m.Generate(r, 2, 0); err == nil {
+		t.Error("accepted zero duration")
+	}
+	var bad Model
+	if err := bad.Validate(); err == nil {
+		t.Error("empty model validated")
+	}
+	if _, err := (FlowSpec{}).GenerateClient(r, 0, 0, 1); err == nil {
+		t.Error("empty flow generated")
+	}
+	if _, err := (ServerSpec{}).GenerateBursts(r, 1, 1); err == nil {
+		t.Error("empty server spec generated")
+	}
+}
+
+func TestOfferedRates(t *testing.T) {
+	m := CounterStrike()
+	// Client: ~83.3B/40ms = ~16.7 kbit/s.
+	up := m.OfferedUpstreamBitRate()
+	if up < 15_000 || up > 18_000 {
+		t.Errorf("upstream rate %v", up)
+	}
+	// Server for 12 clients: 12 * ~140.8B / ~58.5ms = ~231 kbit/s.
+	down := m.OfferedDownstreamBitRate(12)
+	if down < 200_000 || down > 260_000 {
+		t.Errorf("downstream rate %v", down)
+	}
+}
+
+func BenchmarkGenerateSession(b *testing.B) {
+	m := UnrealTournament()
+	r := dist.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Generate(r, 12, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

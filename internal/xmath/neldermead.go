@@ -1,0 +1,130 @@
+package xmath
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions tunes the simplex search. The zero value selects the
+// standard coefficients and a budget suitable for low-dimensional fits.
+type NelderMeadOptions struct {
+	// MaxIter bounds the number of simplex transformations (default 2000).
+	MaxIter int
+	// Tol is the convergence threshold on the objective spread across the
+	// simplex (default 1e-10).
+	Tol float64
+	// Scale sets the initial simplex edge length relative to each start
+	// coordinate (default 0.05, with an absolute floor of 0.001).
+	Scale float64
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder-Mead downhill
+// simplex method. It returns the best point found and its objective value.
+// The method is derivative-free, which suits the histogram least-squares
+// fits used by the fitting package (objectives there are piecewise smooth).
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) ([]float64, float64) {
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 2000
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.Scale <= 0 {
+		opt.Scale = 0.05
+	}
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: append([]float64(nil), x0...)}
+	simplex[0].f = f(simplex[0].x)
+	for i := 1; i <= n; i++ {
+		x := append([]float64(nil), x0...)
+		step := opt.Scale * math.Abs(x[i-1])
+		if step < 0.001 {
+			step = 0.001
+		}
+		x[i-1] += step
+		simplex[i] = vertex{x: x, f: f(x)}
+	}
+
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if math.Abs(simplex[n].f-simplex[0].f) < opt.Tol*(math.Abs(simplex[0].f)+opt.Tol) {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+			for i := 0; i < n; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := f(xr)
+		switch {
+		case fr < simplex[0].f:
+			// Try expanding past the reflection.
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+			}
+			if fe := f(xe); fe < fr {
+				copy(simplex[n].x, xe)
+				simplex[n].f = fe
+			} else {
+				copy(simplex[n].x, xr)
+				simplex[n].f = fr
+			}
+		case fr < simplex[n-1].f:
+			copy(simplex[n].x, xr)
+			simplex[n].f = fr
+		default:
+			// Contract toward the better of worst/reflected.
+			ref := worst.x
+			reff := worst.f
+			if fr < worst.f {
+				ref = xr
+				reff = fr
+			}
+			for j := 0; j < n; j++ {
+				xc[j] = centroid[j] + rho*(ref[j]-centroid[j])
+			}
+			if fc := f(xc); fc < reff {
+				copy(simplex[n].x, xc)
+				simplex[n].f = fc
+			} else {
+				// Shrink everything toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return simplex[0].x, simplex[0].f
+}

@@ -1,0 +1,124 @@
+package xmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrDegenerate reports a polynomial without the requested structure.
+var ErrDegenerate = errors.New("xmath: degenerate polynomial")
+
+// PolyEval evaluates a polynomial with coefficients c (c[i] multiplies z^i)
+// by Horner's rule.
+func PolyEval(c []complex128, z complex128) complex128 {
+	var v complex128
+	for i := len(c) - 1; i >= 0; i-- {
+		v = v*z + c[i]
+	}
+	return v
+}
+
+// PolyDeriv returns the derivative's coefficients.
+func PolyDeriv(c []complex128) []complex128 {
+	if len(c) <= 1 {
+		return []complex128{0}
+	}
+	out := make([]complex128, len(c)-1)
+	for i := 1; i < len(c); i++ {
+		out[i-1] = complex(float64(i), 0) * c[i]
+	}
+	return out
+}
+
+// PolyRoots finds all complex roots of the polynomial with coefficients c
+// (degree = len(c)-1) by the Durand-Kerner (Weierstrass) simultaneous
+// iteration, followed by a Newton polish of each root. Leading zero
+// coefficients are trimmed; the polynomial must have degree >= 1.
+//
+// Durand-Kerner converges for polynomials with simple roots from the
+// standard staggered initial guesses; the M/E_K/1 queueing polynomials this
+// package exists for have simple roots for stable loads.
+func PolyRoots(c []complex128) ([]complex128, error) {
+	// Trim leading zeros.
+	deg := len(c) - 1
+	for deg > 0 && c[deg] == 0 {
+		deg--
+	}
+	if deg < 1 {
+		return nil, fmt.Errorf("%w: degree %d", ErrDegenerate, deg)
+	}
+	c = c[:deg+1]
+	// Normalize to monic.
+	monic := make([]complex128, deg+1)
+	for i := range monic {
+		monic[i] = c[i] / c[deg]
+	}
+
+	// Initial guesses: points on a circle with radius from the coefficient
+	// bound, at non-real angles to break symmetry.
+	radius := 0.0
+	for i := 0; i < deg; i++ {
+		if r := cmplx.Abs(monic[i]); r > radius {
+			radius = r
+		}
+	}
+	radius = 1 + radius
+	roots := make([]complex128, deg)
+	for i := range roots {
+		angle := 2*math.Pi*float64(i)/float64(deg) + 0.4
+		roots[i] = complex(radius*math.Cos(angle), radius*math.Sin(angle)) * complex(0.4, 0)
+	}
+
+	// Weierstrass iteration.
+	for iter := 0; iter < 1000; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			num := PolyEval(monic, roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Perturb coincident iterates.
+				roots[i] += complex(1e-8*radius, 1e-8*radius)
+				continue
+			}
+			step := num / den
+			roots[i] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < 1e-14*radius {
+			break
+		}
+	}
+
+	// Newton polish for a few steps each.
+	dc := PolyDeriv(monic)
+	for i := range roots {
+		for iter := 0; iter < 20; iter++ {
+			d := PolyEval(dc, roots[i])
+			if d == 0 {
+				break
+			}
+			step := PolyEval(monic, roots[i]) / d
+			roots[i] -= step
+			if cmplx.Abs(step) < 1e-15*(1+cmplx.Abs(roots[i])) {
+				break
+			}
+		}
+	}
+
+	// Verify residuals.
+	for i, r := range roots {
+		if res := cmplx.Abs(PolyEval(monic, r)); res > 1e-7*(1+math.Pow(cmplx.Abs(r), float64(deg))) {
+			return nil, fmt.Errorf("xmath: root %d residual %g", i, res)
+		}
+	}
+	return roots, nil
+}

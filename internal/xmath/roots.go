@@ -1,0 +1,154 @@
+package xmath
+
+import "math"
+
+// Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi) must
+// have opposite signs. It stops when the interval shrinks below tol (absolute)
+// or after 200 iterations, whichever comes first.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, ErrBracket
+	}
+	for i := 0; i < 200; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 || hi-lo < tol {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Brent finds a root of f in [lo, hi] by Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(lo) and f(hi) must bracket a
+// sign change.
+func Brent(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrBracket
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo34 := (3*a + b) / 4
+		cond := (s < math.Min(lo34, b) || s > math.Max(lo34, b)) ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, nil
+}
+
+// Newton iterates x <- x - f(x)/df(x) from x0 until |step| < tol. It returns
+// ErrNoConvergence if 100 iterations do not suffice or the derivative
+// vanishes.
+func Newton(f, df func(float64) float64, x0, tol float64) (float64, error) {
+	x := x0
+	for i := 0; i < 100; i++ {
+		d := df(x)
+		if d == 0 || math.IsNaN(d) {
+			return x, ErrNoConvergence
+		}
+		step := f(x) / d
+		x -= step
+		if math.Abs(step) < tol {
+			return x, nil
+		}
+	}
+	return x, ErrNoConvergence
+}
+
+// FindBracketUp searches upward from lo by repeated doubling until f changes
+// sign relative to f(lo), returning a bracketing interval. It gives up after
+// 200 doublings.
+func FindBracketUp(f func(float64) float64, lo, step float64) (a, b float64, err error) {
+	fa := f(lo)
+	x := lo
+	for i := 0; i < 200; i++ {
+		next := x + step
+		fn := f(next)
+		if math.Signbit(fn) != math.Signbit(fa) || fn == 0 {
+			return x, next, nil
+		}
+		x = next
+		step *= 2
+	}
+	return 0, 0, ErrBracket
+}
+
+// MinimizeGolden locates the minimum of unimodal f on [lo, hi] by golden
+// section search with absolute tolerance tol.
+func MinimizeGolden(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 300 && math.Abs(b-a) > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	if fc < fd {
+		return c, fc
+	}
+	return d, fd
+}

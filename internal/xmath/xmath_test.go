@@ -1,0 +1,421 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// Reference values from the identity P(1, x) = 1 - exp(-x) and the
+	// chi-square distribution with 2k degrees of freedom.
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 0, 0},
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 5, 1 - math.Exp(-5)},
+		{2, 2, 1 - math.Exp(-2)*(1+2)},
+		{3, 1, 1 - math.Exp(-1)*(1+1+0.5)},
+		{5, 5, 0.5595067149347875}, // computed from Erlang(5) partial sums
+		{0.5, 0.5, math.Erf(math.Sqrt(0.5))},
+		{0.5, 2, math.Erf(math.Sqrt(2))},
+	}
+	for _, c := range cases {
+		if got := GammaP(c.a, c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("GammaP(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 7, 20, 100} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 10, 50, 150} {
+			p, q := GammaP(a, x), GammaQ(a, x)
+			if !almostEqual(p+q, 1, 1e-12) {
+				t.Errorf("P+Q != 1 at a=%v x=%v: %v", a, x, p+q)
+			}
+			if p < 0 || p > 1 || q < 0 || q > 1 {
+				t.Errorf("out of range at a=%v x=%v: P=%v Q=%v", a, x, p, q)
+			}
+		}
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 4, 16} {
+		prev := -1.0
+		for x := 0.0; x < 40; x += 0.25 {
+			p := GammaP(a, x)
+			if p < prev-1e-14 {
+				t.Fatalf("GammaP(%v, x) not monotone at x=%v: %v < %v", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestBetaIncKnownValues(t *testing.T) {
+	// I_x(1, b) = 1-(1-x)^b, I_x(a, 1) = x^a, and symmetry
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},
+		{1, 2, 0.5, 1 - 0.25},
+		{2, 1, 0.5, 0.25},
+		{2, 2, 0.5, 0.5},
+		{3, 1, 0.2, 0.008},
+		{5, 5, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := BetaInc(c.a, c.b, c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("BetaInc(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBetaIncSymmetry(t *testing.T) {
+	f := func(ai, bi uint8, xi uint16) bool {
+		a := 0.1 + float64(ai%40)/4
+		b := 0.1 + float64(bi%40)/4
+		x := float64(xi%1000) / 1000
+		lhs := BetaInc(a, b, x)
+		rhs := 1 - BetaInc(b, a, 1-x)
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialTailExact(t *testing.T) {
+	// Compare against direct summation of the PMF for small n.
+	for _, n := range []int{1, 2, 5, 10, 25} {
+		for _, p := range []float64{0.05, 0.3, 0.5, 0.9} {
+			for k := 0; k <= n+1; k++ {
+				var want float64
+				for j := k; j <= n; j++ {
+					want += BinomialPMF(n, p, j)
+				}
+				if got := BinomialTail(n, p, k); !almostEqual(got, want, 1e-10) {
+					t.Errorf("BinomialTail(%d,%v,%d)=%v want %v", n, p, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{3, 17, 120} {
+		for _, p := range []float64{0.01, 0.4, 0.77} {
+			var sum KahanSum
+			for k := 0; k <= n; k++ {
+				sum.Add(BinomialPMF(n, p, k))
+			}
+			if !almostEqual(sum.Sum(), 1, 1e-10) {
+				t.Errorf("pmf sum n=%d p=%v: %v", n, p, sum.Sum())
+			}
+		}
+	}
+}
+
+func TestPoissonTailExact(t *testing.T) {
+	for _, mu := range []float64{0.1, 1, 4, 20} {
+		for k := 0; k <= 40; k++ {
+			var want float64
+			// Sum the complement for accuracy.
+			for j := 0; j < k; j++ {
+				want += PoissonPMF(mu, j)
+			}
+			want = 1 - want
+			if got := PoissonTail(mu, k); !almostEqual(got, want, 1e-9) && math.Abs(got-want) > 1e-12 {
+				t.Errorf("PoissonTail(%v,%d)=%v want %v", mu, k, got, want)
+			}
+		}
+	}
+}
+
+func TestErlangTailMatchesSeries(t *testing.T) {
+	// Erlang tail has the closed form e^{-rx} sum_{i<k} (rx)^i/i!.
+	for _, k := range []int{1, 2, 5, 20} {
+		for _, rate := range []float64{0.5, 2} {
+			for _, x := range []float64{0.1, 1, 5, 20} {
+				term := math.Exp(-rate * x)
+				sum := term
+				for i := 1; i < k; i++ {
+					term *= rate * x / float64(i)
+					sum += term
+				}
+				if got := ErlangTail(k, rate, x); !almostEqual(got, sum, 1e-10) {
+					t.Errorf("ErlangTail(%d,%v,%v)=%v want %v", k, rate, x, got, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestErlangCDFTailComplement(t *testing.T) {
+	f := func(ki uint8, xi uint16) bool {
+		k := 1 + int(ki%30)
+		x := float64(xi%500) / 10
+		c, ta := ErlangCDF(k, 1.3, x), ErlangTail(k, 1.3, x)
+		return almostEqual(c+ta, 1, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v", root)
+	}
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); err != ErrBracket {
+		t.Errorf("expected ErrBracket, got %v", err)
+	}
+}
+
+func TestBrent(t *testing.T) {
+	cases := []struct {
+		f        func(float64) float64
+		lo, hi   float64
+		wantRoot float64
+	}{
+		{func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 0.7390851332151607},
+		{func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+	}
+	for i, c := range cases {
+		root, err := Brent(c.f, c.lo, c.hi, 1e-13)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !almostEqual(root, c.wantRoot, 1e-9) {
+			t.Errorf("case %d: root=%v want %v", i, root, c.wantRoot)
+		}
+	}
+}
+
+func TestNewton(t *testing.T) {
+	root, err := Newton(
+		func(x float64) float64 { return x*x - 2 },
+		func(x float64) float64 { return 2 * x },
+		1, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-12) {
+		t.Errorf("root = %v", root)
+	}
+}
+
+func TestFindBracketUp(t *testing.T) {
+	f := func(x float64) float64 { return x - 37.5 }
+	a, b, err := FindBracketUp(f, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f(a) < 0 && f(b) > 0) {
+		t.Errorf("bad bracket [%v,%v]", a, b)
+	}
+}
+
+func TestMinimizeGolden(t *testing.T) {
+	x, fx := MinimizeGolden(func(x float64) float64 { return (x - 3) * (x - 3) }, -10, 10, 1e-10)
+	if !almostEqual(x, 3, 1e-6) || fx > 1e-10 {
+		t.Errorf("min at %v (f=%v)", x, fx)
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		dx, dy := x[0]-1, x[1]+2
+		return dx*dx + 3*dy*dy
+	}
+	x, fx := NelderMead(f, []float64{10, 10}, NelderMeadOptions{})
+	if !almostEqual(x[0], 1, 1e-4) || !almostEqual(x[1], -2, 1e-4) || fx > 1e-7 {
+		t.Errorf("min at %v (f=%v)", x, fx)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fx := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 20000, Tol: 1e-14})
+	if fx > 1e-8 {
+		t.Errorf("Rosenbrock min at %v (f=%v)", x, fx)
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	var s KahanSum
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(0.1)
+	}
+	if !almostEqual(s.Sum(), 100000, 1e-9) {
+		t.Errorf("kahan sum = %v", s.Sum())
+	}
+	// Catastrophic cancellation case a naive sum gets wrong.
+	var s2 KahanSum
+	s2.Add(1e16)
+	for i := 0; i < 10; i++ {
+		s2.Add(1)
+	}
+	s2.Add(-1e16)
+	if s2.Sum() != 10 {
+		t.Errorf("cancellation sum = %v, want 10", s2.Sum())
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(xs[i], want[i], 1e-15) {
+			t.Errorf("xs[%d]=%v want %v", i, xs[i], want[i])
+		}
+	}
+	if xs[len(xs)-1] != 1 {
+		t.Error("endpoint not exact")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp broken")
+	}
+}
+
+func BenchmarkGammaQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GammaQ(20, 35.5)
+	}
+}
+
+func BenchmarkBinomialTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BinomialTail(1000, 0.3, 350)
+	}
+}
+
+func TestPolyEvalAndDeriv(t *testing.T) {
+	// p(z) = 1 + 2z + 3z^2 at z=2: 1+4+12 = 17.
+	c := []complex128{1, 2, 3}
+	if got := PolyEval(c, 2); got != 17 {
+		t.Errorf("eval = %v", got)
+	}
+	d := PolyDeriv(c) // 2 + 6z
+	if got := PolyEval(d, 2); got != 14 {
+		t.Errorf("deriv eval = %v", got)
+	}
+	if got := PolyDeriv([]complex128{5}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("constant deriv = %v", got)
+	}
+}
+
+func TestPolyRootsHighDegree(t *testing.T) {
+	// Roots of z^6 - 1: sixth roots of unity.
+	c := make([]complex128, 7)
+	c[0], c[6] = -1, 1
+	roots, err := PolyRoots(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 6 {
+		t.Fatalf("%d roots", len(roots))
+	}
+	for _, r := range roots {
+		if math.Abs(real(r)*real(r)+imag(r)*imag(r)-1) > 1e-8 {
+			t.Errorf("root %v off the unit circle", r)
+		}
+	}
+	// Leading zeros trimmed.
+	roots2, err := PolyRoots([]complex128{-2, 1, 0, 0})
+	if err != nil || len(roots2) != 1 || math.Abs(real(roots2[0])-2) > 1e-10 {
+		t.Errorf("trimmed roots %v, %v", roots2, err)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); err != ErrBracket {
+		t.Errorf("want ErrBracket, got %v", err)
+	}
+	// Exact endpoint roots.
+	r, err := Brent(func(x float64) float64 { return x }, 0, 1, 1e-12)
+	if err != nil || r != 0 {
+		t.Errorf("endpoint root: %v, %v", r, err)
+	}
+}
+
+func TestNewtonNonconvergence(t *testing.T) {
+	// Zero derivative stops immediately.
+	if _, err := Newton(
+		func(x float64) float64 { return 1 },
+		func(x float64) float64 { return 0 },
+		0, 1e-12); err != ErrNoConvergence {
+		t.Errorf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestGammaInvalidInputs(t *testing.T) {
+	if !math.IsNaN(GammaP(-1, 1)) || !math.IsNaN(GammaQ(0, 1)) {
+		t.Error("invalid shape should give NaN")
+	}
+	if GammaQ(2, 0) != 1 || GammaP(2, -1) != 0 {
+		t.Error("boundary values wrong")
+	}
+	if !math.IsNaN(BetaInc(0, 1, 0.5)) {
+		t.Error("invalid beta params should give NaN")
+	}
+	if BinomialTail(-1, 0.5, 0) == BinomialTail(-1, 0.5, 0) && !math.IsNaN(BinomialTail(-1, 0.5, 1)) {
+		t.Error("negative n should give NaN for k>0")
+	}
+	if BinomialPMF(3, -0.5, 1) != 0 && BinomialPMF(3, 0, 0) != 1 {
+		t.Error("binomial pmf edge cases")
+	}
+	if PoissonPMF(-1, 2) != 0 || PoissonPMF(0, 0) != 1 {
+		t.Error("poisson pmf edge cases")
+	}
+	if !math.IsNaN(ErlangTail(0, 1, 1)) || !math.IsNaN(ErlangCDF(1, 0, 1)) {
+		t.Error("erlang invalid params")
+	}
+}
+
+func TestNelderMeadEmptyAndOneD(t *testing.T) {
+	x, fx := NelderMead(func(x []float64) float64 { return 42 }, nil, NelderMeadOptions{})
+	if x != nil || fx != 42 {
+		t.Errorf("empty dimension: %v %v", x, fx)
+	}
+	x, _ = NelderMead(func(x []float64) float64 { return (x[0] + 7) * (x[0] + 7) }, []float64{3}, NelderMeadOptions{})
+	if math.Abs(x[0]+7) > 1e-3 {
+		t.Errorf("1-d min at %v", x)
+	}
+}
+
+func TestSumSliceAndLinspaceEdge(t *testing.T) {
+	if SumSlice([]float64{0.1, 0.2, 0.3}) != 0.6000000000000001 && math.Abs(SumSlice([]float64{0.1, 0.2, 0.3})-0.6) > 1e-15 {
+		t.Error("sum slice")
+	}
+	if got := Linspace(5, 9, 1); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate linspace %v", got)
+	}
+}
