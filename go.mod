@@ -1,0 +1,3 @@
+module fpsping
+
+go 1.24

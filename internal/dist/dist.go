@@ -1,0 +1,95 @@
+// Package dist provides the probability laws the ping-time model composes:
+// the deterministic, extreme-value (Gumbel), Erlang and lognormal components
+// the paper fits to FPS traffic (§2), plus the exponential, uniform, normal
+// and finite-mixture laws the validators and extensions need.
+//
+// Every law implements Distribution - analytic moments, CDF, quantile and
+// reproducible sampling on a math/rand/v2 generator - so the queueing
+// solvers can be cross-checked against simulation draw for draw.
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// EulerGamma is the Euler-Mascheroni constant: the Gumbel law Ext(a, b) has
+// mean a + EulerGamma*b.
+const EulerGamma = 0.5772156649015328606065120900824024310421593359399235988
+
+// Distribution is a one-dimensional probability law with analytic moments.
+type Distribution interface {
+	// Sample draws one value using the given generator.
+	Sample(r *rand.Rand) float64
+	// Mean returns the expectation E[X].
+	Mean() float64
+	// Var returns the variance Var[X].
+	Var() float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile, the smallest x with CDF(x) >= p
+	// for p in (0, 1).
+	Quantile(p float64) float64
+}
+
+// NewRNG returns a reproducible generator: the same seed always yields the
+// same stream, independent of process or platform (PCG from math/rand/v2).
+func NewRNG(seed uint64) *rand.Rand {
+	// Split the single seed into two well-mixed PCG words (splitmix64).
+	mix := func(z uint64) uint64 {
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	return rand.New(rand.NewPCG(mix(seed), mix(seed^0xdeadbeefcafef00d)))
+}
+
+// SampleN draws n independent values from d.
+func SampleN(d Distribution, r *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+// StdDev returns the standard deviation sqrt(Var[X]).
+func StdDev(d Distribution) float64 { return math.Sqrt(d.Var()) }
+
+// CoV returns the coefficient of variation StdDev/Mean (0 for degenerate
+// laws, +/-Inf when the mean is zero with positive variance).
+func CoV(d Distribution) float64 {
+	sd := StdDev(d)
+	if sd == 0 {
+		return 0
+	}
+	return sd / d.Mean()
+}
+
+// quantileBisect inverts a monotone CDF by bracketing then bisection. lo
+// must satisfy cdf(lo) < p; hi is grown by doubling steps until
+// cdf(hi) >= p (step growth, not hi *= 2, so negative brackets work too).
+func quantileBisect(cdf func(float64) float64, p, lo, hi float64) float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	step := hi - lo
+	for i := 0; i < 200 && cdf(hi) < p; i++ {
+		lo = hi
+		hi += step
+		step *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid <= lo || mid >= hi {
+			break // interval at float resolution
+		}
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Erlang is Erlang(K, Rate): the sum of K independent Exp(Rate) stages, with
+// mean K/Rate and CoV 1/sqrt(K). It is the paper's burst-size law (§2.3.2):
+// the order K sets the burst variability, and both the D/E_K/1 and M/E_K/1
+// waiting-time solutions expand in its stage structure.
+type Erlang struct {
+	K    int     // number of exponential stages
+	Rate float64 // per-stage rate beta (the queueing layer's Beta)
+}
+
+// NewErlang returns Erlang(k, beta) where beta is the per-stage rate; needs
+// k >= 1 and beta > 0.
+func NewErlang(k int, beta float64) (Erlang, error) {
+	if k < 1 {
+		return Erlang{}, fmt.Errorf("dist: erlang order %d must be >= 1", k)
+	}
+	if !(beta > 0) {
+		return Erlang{}, fmt.Errorf("dist: erlang rate %g must be > 0", beta)
+	}
+	return Erlang{K: k, Rate: beta}, nil
+}
+
+// ErlangByMean returns the order-k Erlang with the given mean, i.e. rate
+// k/mean: the moment-matching constructor the fitting layer uses when the
+// order comes from a CoV or tail fit and the mean from the sample.
+func ErlangByMean(k int, mean float64) (Erlang, error) {
+	if !(mean > 0) {
+		return Erlang{}, fmt.Errorf("dist: erlang mean %g must be > 0", mean)
+	}
+	return NewErlang(k, float64(k)/mean)
+}
+
+// Sample draws the sum of K exponential stages.
+func (e Erlang) Sample(r *rand.Rand) float64 {
+	var s float64
+	for i := 0; i < e.K; i++ {
+		s += r.ExpFloat64()
+	}
+	return s / e.Rate
+}
+
+// Mean returns K/Rate.
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+
+// Var returns K/Rate^2.
+func (e Erlang) Var() float64 { return float64(e.K) / (e.Rate * e.Rate) }
+
+// Tail returns P(X > x) = e^{-Rate x} * sum_{i<K} (Rate x)^i / i!, the
+// closed form behind the paper's Figure 1 tail fits.
+func (e Erlang) Tail(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	bx := e.Rate * x
+	if bx < 700 {
+		// Running product: term_i = e^{-bx} (bx)^i / i! stays <= 1-ish.
+		term := math.Exp(-bx)
+		sum := term
+		for i := 1; i < e.K; i++ {
+			term *= bx / float64(i)
+			sum += term
+		}
+		return math.Min(sum, 1)
+	}
+	// Extreme argument: e^{-bx} underflows; sum in log space, shifted by
+	// the largest term.
+	logbx := math.Log(bx)
+	l := -bx
+	maxl := l
+	logs := make([]float64, e.K)
+	logs[0] = l
+	for i := 1; i < e.K; i++ {
+		l += logbx - math.Log(float64(i))
+		logs[i] = l
+		if l > maxl {
+			maxl = l
+		}
+	}
+	var s float64
+	for _, li := range logs {
+		s += math.Exp(li - maxl)
+	}
+	return math.Min(math.Exp(maxl)*s, 1)
+}
+
+// CDF returns 1 - Tail(x).
+func (e Erlang) CDF(x float64) float64 { return 1 - e.Tail(x) }
+
+// Quantile inverts the CDF numerically (no closed form for K > 1).
+func (e Erlang) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	hi := e.Mean() + 12*StdDev(e)
+	return quantileBisect(e.CDF, p, 0, hi)
+}
+
+// String renders Erlang(K, rate).
+func (e Erlang) String() string { return fmt.Sprintf("Erlang(%d, %.4g)", e.K, e.Rate) }
