@@ -7,6 +7,7 @@
 package fpsping_test
 
 import (
+	"fmt"
 	"testing"
 
 	"fpsping/internal/core"
@@ -17,13 +18,32 @@ import (
 	"fpsping/internal/queueing"
 )
 
+// --- The full report: serial vs parallel ---------------------------------
+
+// BenchmarkAllExperiments regenerates the complete report (every table and
+// figure, the `fpsping all` workload) at increasing worker counts. The
+// output is byte-identical across sub-benchmarks; only the wall clock moves.
+// This is the PR's headline number: the jobs=4/jobs=8 runs should beat
+// jobs=1 by the machine's effective parallelism on a multi-core runner.
+func BenchmarkAllExperiments(b *testing.B) {
+	for _, jobs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Report(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- One benchmark per paper artifact -----------------------------------
 
 // BenchmarkTable1CounterStrike regenerates Table 1: sampling Färber's
 // Counter-Strike laws and re-fitting the extreme distribution.
 func BenchmarkTable1CounterStrike(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1(experiments.DefaultSeed, 50_000); err != nil {
+		if _, err := experiments.Table1(experiments.DefaultSeed, 50_000, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -32,7 +52,7 @@ func BenchmarkTable1CounterStrike(b *testing.B) {
 // BenchmarkTable2HalfLife regenerates Table 2 with family ranking.
 func BenchmarkTable2HalfLife(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(experiments.DefaultSeed, 50_000); err != nil {
+		if _, err := experiments.Table2(experiments.DefaultSeed, 50_000, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +62,7 @@ func BenchmarkTable2HalfLife(b *testing.B) {
 // simulation plus trace analysis.
 func BenchmarkTable3LANParty(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(experiments.DefaultSeed, 60); err != nil {
+		if _, err := experiments.Table3(experiments.DefaultSeed, 60, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,7 +71,7 @@ func BenchmarkTable3LANParty(b *testing.B) {
 // BenchmarkFigure1BurstTDF regenerates Figure 1 (burst TDF + Erlang fits).
 func BenchmarkFigure1BurstTDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1(experiments.DefaultSeed, 60); err != nil {
+		if _, err := experiments.Figure1(experiments.DefaultSeed, 60, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +80,7 @@ func BenchmarkFigure1BurstTDF(b *testing.B) {
 // BenchmarkFigure3ErlangOrder regenerates the three K-curves of Figure 3.
 func BenchmarkFigure3ErlangOrder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(); err != nil {
+		if _, err := experiments.Figure3(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +89,7 @@ func BenchmarkFigure3ErlangOrder(b *testing.B) {
 // BenchmarkFigure4InterArrival regenerates the two T-curves of Figure 4.
 func BenchmarkFigure4InterArrival(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure4(); err != nil {
+		if _, err := experiments.Figure4(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +98,7 @@ func BenchmarkFigure4InterArrival(b *testing.B) {
 // BenchmarkDimensioning regenerates the §4 dimensioning rule (three K's).
 func BenchmarkDimensioning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Dimensioning(); err != nil {
+		if _, err := experiments.Dimensioning(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +107,7 @@ func BenchmarkDimensioning(b *testing.B) {
 // BenchmarkRobustnessPS regenerates the §4 robustness checks.
 func BenchmarkRobustnessPS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Robustness(); err != nil {
+		if _, err := experiments.Robustness(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -293,7 +313,7 @@ func BenchmarkDEK1PoleSolve(b *testing.B) {
 // table (D/E_K/1 baseline plus four M/E_K/1 splits).
 func BenchmarkMultiServerStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MultiServerStudy(); err != nil {
+		if _, err := experiments.MultiServerStudy(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -303,7 +323,7 @@ func BenchmarkMultiServerStudy(b *testing.B) {
 // shortened horizon.
 func BenchmarkJitterStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.JitterStudy(experiments.DefaultSeed, 20); err != nil {
+		if _, err := experiments.JitterStudy(experiments.DefaultSeed, 20, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,12 +10,17 @@
 //	fpsping sweep      [flags]   RTT-vs-load series as CSV
 //	fpsping dimension  [flags]   max load / max gamers under an RTT bound
 //	fpsping experiments [-id x]  regenerate paper tables and figures
+//	fpsping all        [-jobs n] the complete report, fully parallel
 //	fpsping simulate   [flags]   packet-level simulation vs the model
 //	fpsping analyze    -file f   Table-3 statistics of a trace CSV
 //	fpsping models               list the built-in game traffic models
+//
+// Heavy commands (sweep, experiments, all) take -jobs to bound the worker
+// pool (default: one per CPU); output is byte-identical at any -jobs value.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +30,7 @@ import (
 	"fpsping/internal/dist"
 	"fpsping/internal/experiments"
 	"fpsping/internal/netsim"
+	"fpsping/internal/runner"
 	"fpsping/internal/trace"
 	"fpsping/internal/traffic"
 )
@@ -44,6 +50,8 @@ func main() {
 		err = cmdDimension(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
 	case "analyze":
@@ -71,12 +79,19 @@ commands:
   sweep        print an RTT-vs-load series as CSV
   dimension    maximum load and gamer count under an RTT bound
   experiments  regenerate the paper's tables and figures (-id to pick one)
+  all          emit the complete report, all artifacts in parallel
   simulate     run the packet-level simulator and compare with the model
   analyze      compute Table-3 statistics from a trace CSV
   models       list built-in game traffic models
 
 run 'fpsping <command> -h' for flags.
 `)
+}
+
+// jobsFlag installs the shared -jobs worker-pool flag.
+func jobsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("jobs", runner.DefaultWorkers(),
+		"worker pool size for parallel work (output is identical at any value)")
 }
 
 // modelFlags installs the shared scenario flags and returns a loader.
@@ -148,6 +163,7 @@ func cmdSweep(args []string) error {
 	from := fs.Float64("from", 0.05, "first downlink load")
 	to := fs.Float64("to", 0.90, "last downlink load")
 	step := fs.Float64("step", 0.05, "load step")
+	jobs := jobsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -159,7 +175,7 @@ func cmdSweep(args []string) error {
 		loads = append(loads, r)
 	}
 	m := get()
-	pts, err := m.SweepLoads(loads)
+	pts, err := m.SweepLoadsParallel(loads, *jobs)
 	if err != nil {
 		return err
 	}
@@ -194,6 +210,7 @@ func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	id := fs.String("id", "all", "experiment id (see 'fpsping experiments -id list')")
 	csvDir := fs.String("csv", "", "also write figure series as CSV into this directory")
+	jobs := jobsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,11 +220,7 @@ func cmdExperiments(args []string) error {
 		}
 		return nil
 	}
-	run := func(e experiments.Entry) error {
-		res, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
+	emit := func(e experiments.Entry, res experiments.Renderer) error {
 		fmt.Println(res.Render())
 		if *csvDir != "" {
 			if c, ok := res.(experiments.CSVer); ok {
@@ -229,18 +242,50 @@ func cmdExperiments(args []string) error {
 		return nil
 	}
 	if *id == "all" {
-		for _, e := range experiments.Index() {
-			if err := run(e); err != nil {
+		// Run every artifact concurrently, then emit in presentation order.
+		// Artifacts that succeeded are printed even when others failed, so a
+		// broken experiment doesn't discard the rest of the run.
+		runner.SetMaxParallel(*jobs)
+		idx := experiments.Index()
+		results, errs := runner.TryMap(len(idx), runner.Options{Workers: *jobs},
+			func(i int) (experiments.Renderer, error) {
+				return idx[i].Run(*jobs)
+			})
+		var failed []error
+		for i, e := range idx {
+			if errs[i] != nil {
+				failed = append(failed, fmt.Errorf("%s: %w", e.ID, errs[i]))
+				continue
+			}
+			if err := emit(e, results[i]); err != nil {
 				return err
 			}
 		}
-		return nil
+		return errors.Join(failed...)
 	}
 	e, err := experiments.Find(*id)
 	if err != nil {
 		return err
 	}
-	return run(e)
+	res, err := e.Run(*jobs)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return emit(e, res)
+}
+
+// cmdAll emits the complete report: every paper artifact regenerated
+// concurrently (across artifacts and inside each one) and rendered in
+// presentation order. The output is byte-identical at any -jobs value.
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	jobs := jobsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := experiments.Report(*jobs)
+	fmt.Print(report) // on partial failure this is the successful sections
+	return err
 }
 
 func cmdSimulate(args []string) error {

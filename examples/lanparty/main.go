@@ -14,11 +14,12 @@ import (
 	"log"
 
 	"fpsping/internal/experiments"
+	"fpsping/internal/runner"
 )
 
 func main() {
 	fmt.Println("simulating a 12-player Unreal Tournament 2003 LAN party (6 minutes)...")
-	t3, err := experiments.Table3(experiments.DefaultSeed, 360)
+	t3, err := experiments.Table3(experiments.DefaultSeed, 360, runner.DefaultWorkers())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func main() {
 	fmt.Println(t3.Stats.FormatTable())
 
 	fmt.Println("fitting the burst-size law (Figure 1)...")
-	f1, err := experiments.Figure1(experiments.DefaultSeed, 360)
+	f1, err := experiments.Figure1(experiments.DefaultSeed, 360, runner.DefaultWorkers())
 	if err != nil {
 		log.Fatal(err)
 	}

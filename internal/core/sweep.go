@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"fpsping/internal/runner"
+)
 
 // SweepPoint is one point of an RTT-versus-load curve (Figures 3 and 4).
 type SweepPoint struct {
@@ -31,6 +35,51 @@ func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
 			break
 		}
 		out = append(out, SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no stable points in sweep of %s", m)
+	}
+	return out, nil
+}
+
+// SweepLoadsParallel evaluates the same curve as SweepLoads with the per-load
+// RTTQuantile calls (independent of each other) fanned out over a worker
+// pool. The serial semantics are reproduced exactly by an ordered post-scan
+// of the full result grid: the curve still ends at the first unstable load
+// (the vertical asymptote), an invalid load is only an error if it sits
+// before that point, and the returned points are byte-identical to
+// SweepLoads' at any worker count.
+func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("%w: empty load list", ErrBadModel)
+	}
+	type cell struct {
+		pt  SweepPoint
+		bad error // invalid load (serial: immediate error)
+	}
+	cells, errs := runner.TryMap(len(loads), runner.Options{Workers: workers},
+		func(i int) (cell, error) {
+			rho := loads[i]
+			if !(rho > 0) {
+				return cell{bad: fmt.Errorf("%w: load %g", ErrBadModel, rho)}, nil
+			}
+			at := m.WithDownlinkLoad(rho)
+			rtt, err := at.RTTQuantile()
+			if err != nil {
+				return cell{}, err // unstable point (serial: break)
+			}
+			return cell{pt: SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt}}, nil
+		})
+	out := make([]SweepPoint, 0, len(loads))
+	for i := range cells {
+		if cells[i].bad != nil {
+			return nil, cells[i].bad
+		}
+		if errs[i] != nil {
+			// Stop at the first unstable point: the asymptote.
+			break
+		}
+		out = append(out, cells[i].pt)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no stable points in sweep of %s", m)

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSweepLoadsParallelMatchesSerial is the layer's determinism contract:
+// the parallel sweep must reproduce the serial one bit for bit at any worker
+// count, including the early break at the stability asymptote (loads past
+// 90% drive the model unstable, so the grid below deliberately crosses it).
+func TestSweepLoadsParallelMatchesSerial(t *testing.T) {
+	m := figure3Model(9)
+	var loads []float64
+	for r := 0.05; r < 1.30; r += 0.05 {
+		loads = append(loads, r)
+	}
+	want, err := m.SweepLoads(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) >= len(loads) {
+		t.Fatalf("grid never crossed the asymptote (%d points) - widen it", len(want))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := m.SweepLoadsParallel(loads, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, serial %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d point %d: %+v vs serial %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSweepLoadsParallelErrors mirrors the serial error semantics: empty
+// grids and invalid loads before the asymptote are errors; an invalid load
+// after the first unstable point is never reached, exactly as in the serial
+// walk.
+func TestSweepLoadsParallelErrors(t *testing.T) {
+	m := figure3Model(9)
+	if _, err := m.SweepLoadsParallel(nil, 4); err == nil {
+		t.Error("accepted empty sweep")
+	}
+	if _, err := m.SweepLoadsParallel([]float64{-0.1, 0.5}, 4); err == nil {
+		t.Error("accepted negative load")
+	}
+	// Invalid load hiding behind the asymptote: serial never sees it.
+	hidden := []float64{0.5, 2.5, -1}
+	want, serialErr := m.SweepLoads(hidden)
+	got, parallelErr := m.SweepLoadsParallel(hidden, 4)
+	if (serialErr == nil) != (parallelErr == nil) {
+		t.Fatalf("error mismatch: serial %v, parallel %v", serialErr, parallelErr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d points vs serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+)
+
+// bracketCap bounds the solved points kept per law; a percentile sweep
+// rarely visits more distinct levels, and the cap keeps long-lived laws from
+// accumulating unbounded state.
+const bracketCap = 64
+
+// quantileBracket caches the (p, q) pairs a law's numeric Quantile has
+// already solved, sorted by p. Because a CDF is monotone, the cached
+// neighbors of a new p bracket its quantile, so repeated percentile sweeps
+// over the same law skip the from-scratch search. The cache is shared by all
+// copies of the law value (constructors allocate it once) and is safe for
+// concurrent use by the parallel sweep layers.
+type quantileBracket struct {
+	mu sync.Mutex
+	ps []float64
+	qs []float64
+}
+
+func newQuantileBracket() *quantileBracket { return &quantileBracket{} }
+
+// bracket narrows [lo, hi] using the cached points around p. When p itself
+// was solved before, hit is true and q is the cached (bit-identical) answer.
+func (c *quantileBracket) bracket(p, lo, hi float64) (nlo, nhi, q float64, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nlo, nhi = lo, hi
+	i := sort.SearchFloat64s(c.ps, p)
+	if i < len(c.ps) && c.ps[i] == p {
+		return nlo, nhi, c.qs[i], true
+	}
+	if i > 0 && c.qs[i-1] > nlo {
+		nlo = c.qs[i-1]
+	}
+	if i < len(c.ps) && c.qs[i] < nhi {
+		nhi = c.qs[i]
+	}
+	if nhi < nlo {
+		// Cached points from a stale wider bracket crossed; fall back.
+		nlo, nhi = lo, hi
+	}
+	return nlo, nhi, 0, false
+}
+
+// store records a solved pair, keeping the arrays sorted by p.
+func (c *quantileBracket) store(p, q float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := sort.SearchFloat64s(c.ps, p)
+	if i < len(c.ps) && c.ps[i] == p {
+		c.qs[i] = q
+		return
+	}
+	if len(c.ps) >= bracketCap {
+		return
+	}
+	c.ps = append(c.ps, 0)
+	c.qs = append(c.qs, 0)
+	copy(c.ps[i+1:], c.ps[i:])
+	copy(c.qs[i+1:], c.qs[i:])
+	c.ps[i] = p
+	c.qs[i] = q
+}

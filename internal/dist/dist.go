@@ -32,17 +32,34 @@ type Distribution interface {
 	Quantile(p float64) float64
 }
 
+// splitmix64 is the seed mixer behind NewRNG and SplitSeed.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SplitSeed derives an independent child seed from a base seed and a stream
+// path (shard index, replica index, ...). The same (seed, stream) always maps
+// to the same child, and distinct streams give decorrelated generators, so
+// parallel jobs can each seed their own RNG and produce output independent of
+// worker count or execution order.
+func SplitSeed(seed uint64, stream ...uint64) uint64 {
+	for i, w := range stream {
+		seed = splitmix64(seed ^ splitmix64(w+uint64(i)*0xd1342543de82ef95))
+	}
+	return seed
+}
+
 // NewRNG returns a reproducible generator: the same seed always yields the
 // same stream, independent of process or platform (PCG from math/rand/v2).
-func NewRNG(seed uint64) *rand.Rand {
-	// Split the single seed into two well-mixed PCG words (splitmix64).
-	mix := func(z uint64) uint64 {
-		z += 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	return rand.New(rand.NewPCG(mix(seed), mix(seed^0xdeadbeefcafef00d)))
+// Optional stream words split the seed SplitSeed-style, giving each parallel
+// job (shard, replica, curve...) its own decorrelated generator: NewRNG(seed)
+// and NewRNG(seed, jobIndex) never share a stream.
+func NewRNG(seed uint64, stream ...uint64) *rand.Rand {
+	seed = SplitSeed(seed, stream...)
+	return rand.New(rand.NewPCG(splitmix64(seed), splitmix64(seed^0xdeadbeefcafef00d)))
 }
 
 // SampleN draws n independent values from d.

@@ -13,6 +13,8 @@ import (
 type Erlang struct {
 	K    int     // number of exponential stages
 	Rate float64 // per-stage rate beta (the queueing layer's Beta)
+
+	qc *quantileBracket // bisection bracket cache (nil on literal construction)
 }
 
 // NewErlang returns Erlang(k, beta) where beta is the per-stage rate; needs
@@ -24,7 +26,7 @@ func NewErlang(k int, beta float64) (Erlang, error) {
 	if !(beta > 0) {
 		return Erlang{}, fmt.Errorf("dist: erlang rate %g must be > 0", beta)
 	}
-	return Erlang{K: k, Rate: beta}, nil
+	return Erlang{K: k, Rate: beta, qc: newQuantileBracket()}, nil
 }
 
 // ErlangByMean returns the order-k Erlang with the given mean, i.e. rate
@@ -37,13 +39,41 @@ func ErlangByMean(k int, mean float64) (Erlang, error) {
 	return NewErlang(k, float64(k)/mean)
 }
 
-// Sample draws the sum of K exponential stages.
+// Sample draws Erlang(K, Rate) in O(1) regardless of K: a single
+// Marsaglia-Tsang Gamma(K, 1) rejection draw scaled by the rate. K=1 keeps
+// the direct exponential draw, so Erlang(1, beta) and Exp(beta) remain the
+// same law sample path for sample path.
 func (e Erlang) Sample(r *rand.Rand) float64 {
-	var s float64
-	for i := 0; i < e.K; i++ {
-		s += r.ExpFloat64()
+	if e.K == 1 {
+		return r.ExpFloat64() / e.Rate
 	}
-	return s / e.Rate
+	return sampleGammaMT(r, float64(e.K)) / e.Rate
+}
+
+// sampleGammaMT draws Gamma(alpha, 1) for alpha >= 1 with the Marsaglia-Tsang
+// (2000) squeeze-rejection method: cube a squeezed normal and accept with a
+// cheap polynomial test (the expensive log test fires on < 3% of draws). The
+// acceptance rate exceeds 0.95 for all alpha >= 1, so the cost is O(1) per
+// draw where the old sum-of-exponentials was O(alpha).
+func sampleGammaMT(r *rand.Rand, alpha float64) float64 {
+	d := alpha - 1.0/3.0
+	c := 1.0 / math.Sqrt(9.0*d)
+	for {
+		x := r.NormFloat64()
+		v := 1.0 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		x2 := x * x
+		if u < 1.0-0.0331*x2*x2 {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x2+d*(1.0-v+math.Log(v)) {
+			return d * v
+		}
+	}
 }
 
 // Mean returns K/Rate.
@@ -93,7 +123,10 @@ func (e Erlang) Tail(x float64) float64 {
 // CDF returns 1 - Tail(x).
 func (e Erlang) CDF(x float64) float64 { return 1 - e.Tail(x) }
 
-// Quantile inverts the CDF numerically (no closed form for K > 1).
+// Quantile inverts the CDF numerically (no closed form for K > 1). Solved
+// (p, q) pairs are cached on laws built by the constructors, so a repeated
+// percentile sweep over the same law starts each bisection from the
+// neighboring solved quantiles instead of re-searching [0, mean+12sd].
 func (e Erlang) Quantile(p float64) float64 {
 	if p <= 0 {
 		return 0
@@ -101,8 +134,19 @@ func (e Erlang) Quantile(p float64) float64 {
 	if p >= 1 {
 		return math.Inf(1)
 	}
-	hi := e.Mean() + 12*StdDev(e)
-	return quantileBisect(e.CDF, p, 0, hi)
+	lo, hi := 0.0, e.Mean()+12*StdDev(e)
+	if e.qc != nil {
+		var q float64
+		var hit bool
+		if lo, hi, q, hit = e.qc.bracket(p, lo, hi); hit {
+			return q
+		}
+	}
+	q := quantileBisect(e.CDF, p, lo, hi)
+	if e.qc != nil {
+		e.qc.store(p, q)
+	}
+	return q
 }
 
 // String renders Erlang(K, rate).

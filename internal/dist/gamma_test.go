@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestErlangMarsagliaTsangMoments is the golden-moment test for the O(1)
+// gamma sampler: across small and large orders the sample mean, variance and
+// third central moment must match the analytic Erlang values. The old
+// sum-of-exponentials sampler passed the same bounds, so a regression in the
+// rejection method (wrong squeeze, wrong scaling) fails loudly.
+func TestErlangMarsagliaTsangMoments(t *testing.T) {
+	const n = 200_000
+	for _, k := range []int{2, 3, 9, 18, 28, 100} {
+		e, err := ErlangByMean(k, 1852)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := SampleN(e, NewRNG(uint64(1000+k)), n)
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= n
+		var m2, m3 float64
+		for _, x := range xs {
+			d := x - mean
+			m2 += d * d
+			m3 += d * d * d
+		}
+		m2 /= n
+		m3 /= n
+
+		wantMean, wantVar := e.Mean(), e.Var()
+		// Gamma(k) skewness is 2/sqrt(k); third central moment 2k/rate^3.
+		wantM3 := 2 * float64(k) / (e.Rate * e.Rate * e.Rate)
+
+		if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.01 {
+			t.Errorf("K=%d: mean %v vs %v (rel %v)", k, mean, wantMean, rel)
+		}
+		if rel := math.Abs(m2-wantVar) / wantVar; rel > 0.03 {
+			t.Errorf("K=%d: var %v vs %v (rel %v)", k, m2, wantVar, rel)
+		}
+		if rel := math.Abs(m3-wantM3) / wantM3; rel > 0.15 {
+			t.Errorf("K=%d: m3 %v vs %v (rel %v)", k, m3, wantM3, rel)
+		}
+	}
+}
+
+// TestErlangSamplerMatchesCDF checks the sampler against the closed-form
+// Erlang CDF at fixed probe points: the empirical CDF must agree within a
+// few standard errors (binomial se = sqrt(p(1-p)/n)).
+func TestErlangSamplerMatchesCDF(t *testing.T) {
+	const n = 100_000
+	for _, k := range []int{2, 9, 20} {
+		e, err := ErlangByMean(k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := SampleN(e, NewRNG(uint64(2000+k)), n)
+		sort.Float64s(xs)
+		for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+			x := e.Quantile(p)
+			emp := float64(sort.SearchFloat64s(xs, x)) / n
+			tol := 5 * math.Sqrt(p*(1-p)/n)
+			if math.Abs(emp-p) > tol {
+				t.Errorf("K=%d p=%v: empirical CDF %v (tol %v)", k, p, emp, tol)
+			}
+		}
+	}
+}
+
+// TestErlangSampleStrictlyPositive: a gamma draw is positive by construction;
+// the rejection loop must never leak a nonpositive or non-finite value.
+func TestErlangSampleStrictlyPositive(t *testing.T) {
+	e, err := ErlangByMean(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(7)
+	for i := 0; i < 50_000; i++ {
+		x := e.Sample(r)
+		if !(x > 0) || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("draw %d = %v", i, x)
+		}
+	}
+}
+
+// TestQuantileBracketCacheConsistency sweeps a percentile grid twice over the
+// same laws: the second (cache-assisted) pass must return bit-identical
+// results, and cached answers must stay coherent with the CDF.
+func TestQuantileBracketCacheConsistency(t *testing.T) {
+	erl, err := ErlangByMean(9, 1852)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := ErlangByMean(40, 1800)
+	tail, _ := ErlangByMean(6, 2600)
+	mix, err := NewMixture([]Distribution{body, tail}, []float64{0.97, 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := make([]float64, 0, 99)
+	for p := 0.01; p < 0.995; p += 0.01 {
+		grid = append(grid, p)
+	}
+	grid = append(grid, 0.999, 0.9999, 0.99999)
+	for _, d := range []Distribution{erl, mix} {
+		first := make([]float64, len(grid))
+		for i, p := range grid {
+			first[i] = d.Quantile(p)
+			if got := d.CDF(first[i]); got < p-1e-9 {
+				t.Errorf("%v: CDF(Quantile(%v)) = %v < p", d, p, got)
+			}
+		}
+		// Monotone in p.
+		for i := 1; i < len(first); i++ {
+			if first[i] < first[i-1] {
+				t.Errorf("%v: quantile not monotone at p=%v", d, grid[i])
+			}
+		}
+		// Second sweep: exact cache hits.
+		for i, p := range grid {
+			if got := d.Quantile(p); got != first[i] {
+				t.Errorf("%v: cached Quantile(%v) = %v, first pass %v", d, p, got, first[i])
+			}
+		}
+	}
+}
+
+// TestQuantileBracketCacheConcurrent hammers one law's Quantile from many
+// goroutines (run under -race in CI): the cache must not race and every
+// answer must stay coherent with the CDF.
+func TestQuantileBracketCacheConcurrent(t *testing.T) {
+	erl, err := ErlangByMean(20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := float64((i*7+w*13)%997+1) / 1000
+				q := erl.Quantile(p)
+				if got := erl.CDF(q); math.Abs(got-p) > 1e-6 {
+					select {
+					case errc <- nil:
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-errc:
+		t.Error("concurrent quantile incoherent with CDF")
+	default:
+	}
+}
+
+// TestLiteralErlangQuantileStillWorks: zero-value/literal construction (no
+// cache pointer) must keep working - the cache is an optimization, not a
+// requirement.
+func TestLiteralErlangQuantileStillWorks(t *testing.T) {
+	e := Erlang{K: 4, Rate: 2}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		q := e.Quantile(p)
+		if got := e.CDF(q); math.Abs(got-p) > 1e-9 {
+			t.Errorf("p=%v: CDF(Quantile) = %v", p, got)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fpsping/internal/core"
+	"fpsping/internal/runner"
 )
 
 // DimRow is one K's dimensioning outcome against the paper's numbers.
@@ -39,8 +40,9 @@ func (d DimensioningResult) Render() string {
 	return section("§4 dimensioning rule", b.String())
 }
 
-// Dimensioning runs the rule for the three K values.
-func Dimensioning() (DimensioningResult, error) {
+// Dimensioning runs the rule for the three K values, one concurrent job per
+// K (each MaxLoad search is independent).
+func Dimensioning(jobs int) (DimensioningResult, error) {
 	out := DimensioningResult{Bound: 0.050}
 	paper := map[int]struct {
 		load   float64
@@ -50,24 +52,29 @@ func Dimensioning() (DimensioningResult, error) {
 		9:  {0.40, 80},
 		20: {0.60, 120},
 	}
-	for _, k := range []int{2, 9, 20} {
-		m := core.DSLDefaults()
-		m.ServerPacketBytes = 125
-		m.BurstInterval = 0.040
-		m.ErlangOrder = k
-		res, err := m.MaxLoad(out.Bound)
-		if err != nil {
-			return out, fmt.Errorf("dimensioning K=%d: %w", k, err)
-		}
-		out.Rows = append(out.Rows, DimRow{
-			K:             k,
-			MaxLoad:       res.MaxDownlinkLoad,
-			MaxGamers:     res.MaxGamers,
-			PaperLoad:     paper[k].load,
-			PaperGamers:   paper[k].gamers,
-			RTTAtMaxMilli: 1000 * res.RTTAtMax,
+	rows, err := runner.Items([]int{2, 9, 20}, runner.Options{Workers: jobs},
+		func(_, k int) (DimRow, error) {
+			m := core.DSLDefaults()
+			m.ServerPacketBytes = 125
+			m.BurstInterval = 0.040
+			m.ErlangOrder = k
+			res, err := m.MaxLoad(out.Bound)
+			if err != nil {
+				return DimRow{}, fmt.Errorf("dimensioning K=%d: %w", k, err)
+			}
+			return DimRow{
+				K:             k,
+				MaxLoad:       res.MaxDownlinkLoad,
+				MaxGamers:     res.MaxGamers,
+				PaperLoad:     paper[k].load,
+				PaperGamers:   paper[k].gamers,
+				RTTAtMaxMilli: 1000 * res.RTTAtMax,
+			}, nil
 		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -103,20 +110,29 @@ func (r RobustnessResult) Render() string {
 	return section("§4 robustness checks", b.String())
 }
 
-// Robustness runs the three checks.
-func Robustness() (RobustnessResult, error) {
+// Robustness runs the three checks; the PS sweep fans out one job per packet
+// size.
+func Robustness(jobs int) (RobustnessResult, error) {
 	out := RobustnessResult{QueueingByPS: map[float64]float64{}}
-	for _, ps := range []float64{125, 100, 75} {
-		m := core.DSLDefaults()
-		m.ServerPacketBytes = ps
-		m.BurstInterval = 0.060
-		m.ErlangOrder = 9
-		m = m.WithDownlinkLoad(0.5)
-		q, err := m.RTTQuantile()
-		if err != nil {
-			return out, err
-		}
-		out.QueueingByPS[ps] = 1000 * (q - m.FixedPart())
+	psValues := []float64{125, 100, 75}
+	queueing, err := runner.Items(psValues, runner.Options{Workers: jobs},
+		func(_ int, ps float64) (float64, error) {
+			m := core.DSLDefaults()
+			m.ServerPacketBytes = ps
+			m.BurstInterval = 0.060
+			m.ErlangOrder = 9
+			m = m.WithDownlinkLoad(0.5)
+			q, err := m.RTTQuantile()
+			if err != nil {
+				return 0, err
+			}
+			return 1000 * (q - m.FixedPart()), nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for i, ps := range psValues {
+		out.QueueingByPS[ps] = queueing[i]
 	}
 
 	base := core.DSLDefaults()
@@ -178,38 +194,44 @@ func (a AblationResult) Render() string {
 	return section("§3.3 ablation - 99.999% RTT quantile by method (PS=125B, T=60ms, K=9)", b.String())
 }
 
-// Ablation evaluates the four methods across loads.
-func Ablation() (AblationResult, error) {
+// Ablation evaluates the four methods across loads, one concurrent job per
+// load point.
+func Ablation(jobs int) (AblationResult, error) {
 	var out AblationResult
-	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8} {
-		m := core.DSLDefaults()
-		m.ServerPacketBytes = 125
-		m.BurstInterval = 0.060
-		m.ErlangOrder = 9
-		m = m.WithDownlinkLoad(rho)
-		full, err := m.RTTQuantile()
-		if err != nil {
-			return out, err
-		}
-		dom, err := m.RTTQuantileDominantPole()
-		if err != nil {
-			return out, err
-		}
-		cher, err := m.RTTQuantileChernoff()
-		if err != nil {
-			return out, err
-		}
-		sq, err := m.RTTQuantileSumOfQuantiles()
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, AblationRow{
-			Load:          rho,
-			FullMilli:     1000 * full,
-			DominantMilli: 1000 * dom,
-			ChernoffMilli: 1000 * cher,
-			SumQMilli:     1000 * sq,
+	rows, err := runner.Items([]float64{0.2, 0.4, 0.6, 0.8}, runner.Options{Workers: jobs},
+		func(_ int, rho float64) (AblationRow, error) {
+			m := core.DSLDefaults()
+			m.ServerPacketBytes = 125
+			m.BurstInterval = 0.060
+			m.ErlangOrder = 9
+			m = m.WithDownlinkLoad(rho)
+			full, err := m.RTTQuantile()
+			if err != nil {
+				return AblationRow{}, err
+			}
+			dom, err := m.RTTQuantileDominantPole()
+			if err != nil {
+				return AblationRow{}, err
+			}
+			cher, err := m.RTTQuantileChernoff()
+			if err != nil {
+				return AblationRow{}, err
+			}
+			sq, err := m.RTTQuantileSumOfQuantiles()
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Load:          rho,
+				FullMilli:     1000 * full,
+				DominantMilli: 1000 * dom,
+				ChernoffMilli: 1000 * cher,
+				SumQMilli:     1000 * sq,
+			}, nil
 		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }

@@ -19,9 +19,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+
+	"fpsping/internal/runner"
 )
 
 // Renderer is implemented by every experiment result.
@@ -36,25 +39,67 @@ type Entry struct {
 	ID string
 	// Title describes the paper artifact.
 	Title string
-	// Run executes the experiment with its default parameters.
-	Run func() (Renderer, error)
+	// Run executes the experiment with its default parameters on up to jobs
+	// concurrent workers (<= 1 means serial). The result is byte-identical
+	// at any jobs value: all parallel inner loops shard work and derive
+	// per-shard RNG streams independently of the worker count.
+	Run func(jobs int) (Renderer, error)
 }
 
 // Index lists all experiments in presentation order.
 func Index() []Entry {
 	return []Entry{
-		{"table1", "Table 1: Counter-Strike traffic characteristics (Färber)", func() (Renderer, error) { return Table1(DefaultSeed, 200_000) }},
-		{"table2", "Table 2: Half-Life traffic characteristics (Lang et al.)", func() (Renderer, error) { return Table2(DefaultSeed, 200_000) }},
-		{"table3", "Table 3: Unreal Tournament 2003 LAN trace", func() (Renderer, error) { return Table3(DefaultSeed, 360) }},
-		{"figure1", "Figure 1: burst-size TDF vs Erlang tails", func() (Renderer, error) { return Figure1(DefaultSeed, 360) }},
-		{"figure3", "Figure 3: RTT quantile vs load, K in {2,9,20}", func() (Renderer, error) { return Figure3() }},
-		{"figure4", "Figure 4: RTT quantile vs load, T in {40,60} ms", func() (Renderer, error) { return Figure4() }},
-		{"dimensioning", "§4 dimensioning: max load and gamers under 50 ms", func() (Renderer, error) { return Dimensioning() }},
-		{"robustness", "§4 robustness: PS sweep, C invariance, uplink crossover", func() (Renderer, error) { return Robustness() }},
-		{"ablation", "§3.3 ablation: inversion method comparison", func() (Renderer, error) { return Ablation() }},
-		{"multiserver", "§3.2 extension: several servers on one pipe (M/E_K/1)", func() (Renderer, error) { return MultiServerStudy() }},
-		{"jitter", "[23] replication: injected jitter vs ping", func() (Renderer, error) { return JitterStudy(DefaultSeed, 120) }},
+		{"table1", "Table 1: Counter-Strike traffic characteristics (Färber)", func(jobs int) (Renderer, error) { return Table1(DefaultSeed, 200_000, jobs) }},
+		{"table2", "Table 2: Half-Life traffic characteristics (Lang et al.)", func(jobs int) (Renderer, error) { return Table2(DefaultSeed, 200_000, jobs) }},
+		{"table3", "Table 3: Unreal Tournament 2003 LAN trace", func(jobs int) (Renderer, error) { return Table3(DefaultSeed, 360, jobs) }},
+		{"figure1", "Figure 1: burst-size TDF vs Erlang tails", func(jobs int) (Renderer, error) { return Figure1(DefaultSeed, 360, jobs) }},
+		{"figure3", "Figure 3: RTT quantile vs load, K in {2,9,20}", func(jobs int) (Renderer, error) { return Figure3(jobs) }},
+		{"figure4", "Figure 4: RTT quantile vs load, T in {40,60} ms", func(jobs int) (Renderer, error) { return Figure4(jobs) }},
+		{"dimensioning", "§4 dimensioning: max load and gamers under 50 ms", func(jobs int) (Renderer, error) { return Dimensioning(jobs) }},
+		{"robustness", "§4 robustness: PS sweep, C invariance, uplink crossover", func(jobs int) (Renderer, error) { return Robustness(jobs) }},
+		{"ablation", "§3.3 ablation: inversion method comparison", func(jobs int) (Renderer, error) { return Ablation(jobs) }},
+		{"multiserver", "§3.2 extension: several servers on one pipe (M/E_K/1)", func(jobs int) (Renderer, error) { return MultiServerStudy(jobs) }},
+		{"jitter", "[23] replication: injected jitter vs ping", func(jobs int) (Renderer, error) { return JitterStudy(DefaultSeed, 120, jobs) }},
 	}
+}
+
+// Report regenerates every artifact of Index concurrently (both across
+// artifacts and inside each one) and returns the full rendered report in
+// presentation order. The text is byte-identical at any jobs value; jobs <= 0
+// uses one worker per CPU. Report bounds the whole process's concurrency via
+// runner.SetMaxParallel(jobs), so nested fan-outs cannot multiply past it.
+//
+// If some artifacts fail, Report still returns the successful sections (in
+// presentation order) alongside the aggregated error, so one broken
+// experiment doesn't discard the rest of an expensive run.
+func Report(jobs int) (string, error) {
+	if jobs <= 0 {
+		jobs = runner.DefaultWorkers()
+	}
+	runner.SetMaxParallel(jobs)
+	idx := Index()
+	sections, errs := runner.TryMap(len(idx), runner.Options{Workers: jobs},
+		func(i int) (string, error) {
+			res, err := idx[i].Run(jobs)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", idx[i].ID, err)
+			}
+			return res.Render(), nil
+		})
+	var ok []string
+	var failed []error
+	for i := range sections {
+		if errs[i] != nil {
+			failed = append(failed, errs[i])
+			continue
+		}
+		ok = append(ok, sections[i])
+	}
+	report := strings.Join(ok, "\n")
+	if len(failed) > 0 {
+		return report, errors.Join(failed...)
+	}
+	return report, nil
 }
 
 // Find returns the entry with the given id.

@@ -31,7 +31,7 @@ func TestIndexAndFind(t *testing.T) {
 }
 
 func TestTable1ReproducesFaerber(t *testing.T) {
-	res, err := Table1(DefaultSeed, 120_000)
+	res, err := Table1(DefaultSeed, 120_000, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestTable1ReproducesFaerber(t *testing.T) {
 }
 
 func TestTable2RanksLognormalFirst(t *testing.T) {
-	res, err := Table2(DefaultSeed, 80_000)
+	res, err := Table2(DefaultSeed, 80_000, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestTable2RanksLognormalFirst(t *testing.T) {
 }
 
 func TestTable3MatchesPaperMoments(t *testing.T) {
-	res, err := Table3(DefaultSeed, 360)
+	res, err := Table3(DefaultSeed, 360, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestTable3MatchesPaperMoments(t *testing.T) {
 }
 
 func TestFigure1ShapeAndOrders(t *testing.T) {
-	res, err := Figure1(DefaultSeed, 360)
+	res, err := Figure1(DefaultSeed, 360, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestFigure1ShapeAndOrders(t *testing.T) {
 }
 
 func TestFigure3CurvesOrdered(t *testing.T) {
-	res, err := Figure3()
+	res, err := Figure3(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestFigure3CurvesOrdered(t *testing.T) {
 }
 
 func TestFigure4RatioNote(t *testing.T) {
-	res, err := Figure4()
+	res, err := Figure4(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestFigure4RatioNote(t *testing.T) {
 }
 
 func TestDimensioningAgainstPaper(t *testing.T) {
-	res, err := Dimensioning()
+	res, err := Dimensioning(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestDimensioningAgainstPaper(t *testing.T) {
 }
 
 func TestRobustnessChecks(t *testing.T) {
-	res, err := Robustness()
+	res, err := Robustness(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestRobustnessChecks(t *testing.T) {
 }
 
 func TestAblationOrdering(t *testing.T) {
-	res, err := Ablation()
+	res, err := Ablation(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestAllExperimentsRunAndRender(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	for _, e := range Index() {
-		res, err := e.Run()
+		res, err := e.Run(2)
 		if err != nil {
 			t.Errorf("%s: %v", e.ID, err)
 			continue
@@ -292,7 +292,7 @@ func TestAllExperimentsRunAndRender(t *testing.T) {
 }
 
 func TestMultiServerStudyShape(t *testing.T) {
-	res, err := MultiServerStudy()
+	res, err := MultiServerStudy(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestMultiServerStudyShape(t *testing.T) {
 }
 
 func TestJitterStudyLinearity(t *testing.T) {
-	res, err := JitterStudy(DefaultSeed, 60)
+	res, err := JitterStudy(DefaultSeed, 60, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,8 +335,83 @@ func TestJitterStudyLinearity(t *testing.T) {
 	}
 }
 
+// TestReportDeterministicAcrossWorkerCounts is the PR's central guarantee:
+// the full report - every table, figure, sweep and replication - must be
+// byte-identical for -jobs=1 and -jobs=8 under the same seed. Any job that
+// derived randomness from execution order instead of its own index, or any
+// result collected in completion order, fails this test.
+func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full report twice")
+	}
+	serial, err := Report(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Report(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		// Locate the first divergence for the failure message.
+		i := 0
+		for i < len(serial) && i < len(parallel) && serial[i] == parallel[i] {
+			i++
+		}
+		lo := max(0, i-80)
+		t.Fatalf("report differs between -jobs=1 and -jobs=8 at byte %d:\nserial:   ...%q\nparallel: ...%q",
+			i, serial[lo:min(len(serial), i+80)], parallel[lo:min(len(parallel), i+80)])
+	}
+	if len(serial) < 2000 {
+		t.Fatalf("report suspiciously short: %d bytes", len(serial))
+	}
+	// Every artifact's section must be present, in presentation order.
+	pos := -1
+	for _, e := range Index() {
+		ti := strings.Index(serial, sectionTitlePrefix(e.ID))
+		if ti < 0 {
+			t.Errorf("report missing section for %s", e.ID)
+			continue
+		}
+		if ti < pos {
+			t.Errorf("section %s out of presentation order", e.ID)
+		}
+		pos = ti
+	}
+}
+
+// sectionTitlePrefix maps an entry id to a distinctive substring of its
+// rendered section title.
+func sectionTitlePrefix(id string) string {
+	switch id {
+	case "table1":
+		return "Table 1"
+	case "table2":
+		return "Table 2"
+	case "table3":
+		return "Table 3"
+	case "figure1":
+		return "Figure 1"
+	case "figure3":
+		return "Figure 3"
+	case "figure4":
+		return "Figure 4"
+	case "dimensioning":
+		return "dimensioning rule"
+	case "robustness":
+		return "robustness checks"
+	case "ablation":
+		return "ablation"
+	case "multiserver":
+		return "several game servers"
+	case "jitter":
+		return "injected downstream jitter"
+	}
+	return id
+}
+
 func TestCSVExport(t *testing.T) {
-	res, err := Figure4()
+	res, err := Figure4(2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"fpsping/internal/core"
 	"fpsping/internal/dist"
 	"fpsping/internal/netsim"
+	"fpsping/internal/runner"
 )
 
 // MultiServerRow is one server-count's prediction.
@@ -42,42 +43,59 @@ func (m MultiServerResult) Render() string {
 	return section("§3.2 extension - several game servers on one pipe", b.String())
 }
 
-// MultiServerStudy evaluates S in {1, 2, 4, 8, 16} at a fixed aggregate.
-func MultiServerStudy() (MultiServerResult, error) {
+// MultiServerStudy evaluates S in {1, 2, 4, 8, 16} at a fixed aggregate, one
+// concurrent job per server count.
+func MultiServerStudy(jobs int) (MultiServerResult, error) {
 	const total = 160.0
 	out := MultiServerResult{TotalGamers: total}
-	for _, servers := range []int{1, 2, 4, 8, 16} {
-		per := core.DSLDefaults()
-		per.ServerPacketBytes = 125
-		per.BurstInterval = 0.060
-		per.ErlangOrder = 9
-		per.Gamers = total / float64(servers)
+	type cell struct {
+		row  MultiServerRow
+		load float64 // aggregate load, reported by the S=1 baseline
+	}
+	cells, err := runner.Items([]int{1, 2, 4, 8, 16}, runner.Options{Workers: jobs},
+		func(_, servers int) (cell, error) {
+			per := core.DSLDefaults()
+			per.ServerPacketBytes = 125
+			per.BurstInterval = 0.060
+			per.ErlangOrder = 9
+			per.Gamers = total / float64(servers)
 
-		var q, mean float64
-		var err error
-		if servers == 1 {
-			if q, err = per.RTTQuantile(); err != nil {
-				return out, err
+			var c cell
+			var q, mean float64
+			var err error
+			if servers == 1 {
+				if q, err = per.RTTQuantile(); err != nil {
+					return c, err
+				}
+				if mean, err = per.MeanRTT(); err != nil {
+					return c, err
+				}
+				c.load = per.DownlinkLoad()
+			} else {
+				ms := core.MultiServer{PerServer: per, Servers: servers}
+				if q, err = ms.RTTQuantile(); err != nil {
+					return c, err
+				}
+				if mean, err = ms.MeanRTT(); err != nil {
+					return c, err
+				}
 			}
-			if mean, err = per.MeanRTT(); err != nil {
-				return out, err
+			c.row = MultiServerRow{
+				Servers:       servers,
+				PerServer:     per.Gamers,
+				QuantileMilli: 1000 * q,
+				MeanMilli:     1000 * mean,
 			}
-			out.AggregateLoad = per.DownlinkLoad()
-		} else {
-			ms := core.MultiServer{PerServer: per, Servers: servers}
-			if q, err = ms.RTTQuantile(); err != nil {
-				return out, err
-			}
-			if mean, err = ms.MeanRTT(); err != nil {
-				return out, err
-			}
-		}
-		out.Rows = append(out.Rows, MultiServerRow{
-			Servers:       servers,
-			PerServer:     per.Gamers,
-			QuantileMilli: 1000 * q,
-			MeanMilli:     1000 * mean,
+			return c, nil
 		})
+	if err != nil {
+		return out, err
+	}
+	for _, c := range cells {
+		out.Rows = append(out.Rows, c.row)
+		if c.load > 0 {
+			out.AggregateLoad = c.load
+		}
 	}
 	return out, nil
 }
@@ -111,47 +129,67 @@ func (j JitterResult) Render() string {
 	return section("[23] replication - injected downstream jitter vs ping", b.String())
 }
 
+// jitterReplicas is the fixed per-level replication grid: each jitter level's
+// statistics pool this many independent sub-simulations, so the study is
+// byte-identical at any worker count.
+const jitterReplicas = 3
+
 // JitterStudy simulates jitter levels 0/2/5/10 ms (uniform, mean values).
-func JitterStudy(seed uint64, duration float64) (JitterResult, error) {
+// Every (level, replica) pair is an independent job; replica r uses the same
+// derived seed at every level (common random numbers, preserving the
+// monotone level comparison) and each level merges its replicas' delay
+// populations.
+func JitterStudy(seed uint64, duration float64, jobs int) (JitterResult, error) {
 	var out JitterResult
-	for _, meanMs := range []float64{0, 2, 5, 10} {
-		erl, err := dist.ErlangByMean(9, 30*125)
-		if err != nil {
-			return out, err
-		}
-		cfg := netsim.Config{
-			Gamers:       30,
-			ClientSize:   dist.NewDeterministic(80),
-			ClientIAT:    dist.NewDeterministic(0.060),
-			BurstTotal:   erl,
-			BurstIAT:     dist.NewDeterministic(0.060),
-			UpRate:       128_000,
-			DownRate:     1_024_000,
-			AggRate:      5_000_000,
-			ShuffleBurst: true,
-		}
-		if meanMs > 0 {
-			u, err := dist.NewUniform(0, 2*meanMs/1000)
+	levels := []float64{0, 2, 5, 10}
+	sub := duration / jitterReplicas
+	runs, err := runner.Map(len(levels)*jitterReplicas, runner.Options{Workers: jobs},
+		func(job int) (*netsim.Results, error) {
+			meanMs := levels[job/jitterReplicas]
+			rep := job % jitterReplicas
+			erl, err := dist.ErlangByMean(9, 30*125)
 			if err != nil {
-				return out, err
+				return nil, err
 			}
-			cfg.DownJitter = u
+			cfg := netsim.Config{
+				Gamers:       30,
+				ClientSize:   dist.NewDeterministic(80),
+				ClientIAT:    dist.NewDeterministic(0.060),
+				BurstTotal:   erl,
+				BurstIAT:     dist.NewDeterministic(0.060),
+				UpRate:       128_000,
+				DownRate:     1_024_000,
+				AggRate:      5_000_000,
+				ShuffleBurst: true,
+			}
+			if meanMs > 0 {
+				u, err := dist.NewUniform(0, 2*meanMs/1000)
+				if err != nil {
+					return nil, err
+				}
+				cfg.DownJitter = u
+			}
+			s, err := netsim.NewScenario(cfg, dist.SplitSeed(seed, expJitter, uint64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			return s.Run(sub)
+		})
+	if err != nil {
+		return out, err
+	}
+	for li, meanMs := range levels {
+		pooled := runs[li*jitterReplicas].RTT
+		for rep := 1; rep < jitterReplicas; rep++ {
+			pooled.Merge(runs[li*jitterReplicas+rep].RTT)
 		}
-		s, err := netsim.NewScenario(cfg, seed)
-		if err != nil {
-			return out, err
-		}
-		res, err := s.Run(duration)
-		if err != nil {
-			return out, err
-		}
-		p99, err := res.RTT.Quantile(0.99)
+		p99, err := pooled.Quantile(0.99)
 		if err != nil {
 			return out, err
 		}
 		out.Rows = append(out.Rows, JitterRow{
 			JitterMeanMilli: meanMs,
-			MeanRTTMilli:    1000 * res.RTT.Summary.Mean(),
+			MeanRTTMilli:    1000 * pooled.Summary.Mean(),
 			P99Milli:        1000 * p99,
 		})
 	}

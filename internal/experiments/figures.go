@@ -8,6 +8,7 @@ import (
 	"fpsping/internal/core"
 	"fpsping/internal/dist"
 	"fpsping/internal/fit"
+	"fpsping/internal/runner"
 	"fpsping/internal/stats"
 )
 
@@ -55,10 +56,11 @@ func (f Figure1Result) Render() string {
 	return section("Figure 1 - burst-size TDF vs Erlang tails", b.String())
 }
 
-// Figure1 derives the figure from the Table 3 simulation's burst totals.
-func Figure1(seed uint64, duration float64) (Figure1Result, error) {
+// Figure1 derives the figure from the Table 3 simulation's burst totals (the
+// simulation replicas and the order fits run on up to jobs workers).
+func Figure1(seed uint64, duration float64, jobs int) (Figure1Result, error) {
 	var out Figure1Result
-	t3, err := Table3(seed, duration)
+	t3, err := Table3(seed, duration, jobs)
 	if err != nil {
 		return out, err
 	}
@@ -140,57 +142,75 @@ func (f FigureRTTResult) Render() string {
 }
 
 // Figure3 computes the 99.999% RTT quantile against downlink load for
-// K = 2, 9, 20 with PS = 125 B and T = 60 ms (DSL defaults of §4).
-func Figure3() (FigureRTTResult, error) {
+// K = 2, 9, 20 with PS = 125 B and T = 60 ms (DSL defaults of §4). The three
+// K-curves run concurrently and each curve's load grid is itself swept in
+// parallel.
+func Figure3(jobs int) (FigureRTTResult, error) {
 	out := FigureRTTResult{Title: "Figure 3 - impact of Erlang order K (PS=125B, IAT=60ms)"}
 	loads := core.PaperLoadGrid()
-	for _, k := range []int{2, 9, 20} {
-		m := core.DSLDefaults()
-		m.ServerPacketBytes = 125
-		m.BurstInterval = 0.060
-		m.ErlangOrder = k
-		pts, err := m.SweepLoads(loads)
-		if err != nil {
-			return out, err
-		}
-		s := Series{Label: fmt.Sprintf("K = %d", k)}
-		for _, p := range pts {
-			s.X = append(s.X, p.Load)
-			s.Y = append(s.Y, 1000*p.RTT)
-		}
-		out.Curves = append(out.Curves, s)
+	curves, err := runner.Items([]int{2, 9, 20}, runner.Options{Workers: jobs},
+		func(_, k int) (Series, error) {
+			m := core.DSLDefaults()
+			m.ServerPacketBytes = 125
+			m.BurstInterval = 0.060
+			m.ErlangOrder = k
+			pts, err := m.SweepLoadsParallel(loads, jobs)
+			if err != nil {
+				return Series{}, err
+			}
+			s := Series{Label: fmt.Sprintf("K = %d", k)}
+			for _, p := range pts {
+				s.X = append(s.X, p.Load)
+				s.Y = append(s.Y, 1000*p.RTT)
+			}
+			return s, nil
+		})
+	if err != nil {
+		return out, err
 	}
+	out.Curves = curves
 	out.Notes = append(out.Notes,
 		"paper reading: low K is unacceptable even at moderate load; curves rise to the rho->1 asymptote")
 	return out, nil
 }
 
 // Figure4 computes the quantile for T = 40 vs 60 ms with PS = 125 B, K = 9,
-// and reports the queueing-part ratio the paper calls "about 3/2".
-func Figure4() (FigureRTTResult, error) {
+// and reports the queueing-part ratio the paper calls "about 3/2". The two
+// T-curves run concurrently over parallel load sweeps.
+func Figure4(jobs int) (FigureRTTResult, error) {
 	out := FigureRTTResult{Title: "Figure 4 - impact of the inter-arrival time (PS=125B, K=9)"}
 	loads := core.PaperLoadGrid()
-	models := map[string]core.Model{}
-	for _, tms := range []float64{40, 60} {
-		m := core.DSLDefaults()
-		m.ServerPacketBytes = 125
-		m.BurstInterval = tms / 1000
-		m.ErlangOrder = 9
-		models[fmt.Sprintf("IAT = %.0fms", tms)] = m
-		pts, err := m.SweepLoads(loads)
-		if err != nil {
-			return out, err
-		}
-		s := Series{Label: fmt.Sprintf("IAT = %.0fms", tms)}
-		for _, p := range pts {
-			s.X = append(s.X, p.Load)
-			s.Y = append(s.Y, 1000*p.RTT)
-		}
-		out.Curves = append(out.Curves, s)
+	tValues := []float64{40, 60}
+	type curve struct {
+		s Series
+		m core.Model
+	}
+	curves, err := runner.Items(tValues, runner.Options{Workers: jobs},
+		func(_ int, tms float64) (curve, error) {
+			m := core.DSLDefaults()
+			m.ServerPacketBytes = 125
+			m.BurstInterval = tms / 1000
+			m.ErlangOrder = 9
+			pts, err := m.SweepLoadsParallel(loads, jobs)
+			if err != nil {
+				return curve{}, err
+			}
+			s := Series{Label: fmt.Sprintf("IAT = %.0fms", tms)}
+			for _, p := range pts {
+				s.X = append(s.X, p.Load)
+				s.Y = append(s.Y, 1000*p.RTT)
+			}
+			return curve{s: s, m: m}, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for _, c := range curves {
+		out.Curves = append(out.Curves, c.s)
 	}
 	// Ratio of queueing parts at a mid load.
-	m40 := models["IAT = 40ms"].WithDownlinkLoad(0.4)
-	m60 := models["IAT = 60ms"].WithDownlinkLoad(0.4)
+	m40 := curves[0].m.WithDownlinkLoad(0.4)
+	m60 := curves[1].m.WithDownlinkLoad(0.4)
 	q40, err := m40.RTTQuantile()
 	if err != nil {
 		return out, err

@@ -7,10 +7,46 @@ import (
 	"fpsping/internal/dist"
 	"fpsping/internal/fit"
 	"fpsping/internal/netsim"
+	"fpsping/internal/runner"
 	"fpsping/internal/stats"
 	"fpsping/internal/trace"
 	"fpsping/internal/traffic"
 )
+
+// Experiment stream identifiers: the first word of every derived RNG stream
+// path, so two experiments sharing DefaultSeed never consume the same
+// underlying generator (Table 1's shard 0 and Table 2's shard 0 must be
+// independent draws, not the same uniforms pushed through two transforms).
+const (
+	expTable1 uint64 = 1
+	expTable2 uint64 = 2
+	expTable3 uint64 = 3
+	expJitter uint64 = 11
+)
+
+// sampleShardCount is the fixed shard grid of sampleShards. It is a constant
+// - never the worker count - so the drawn sample is byte-identical whatever
+// parallelism executes it.
+const sampleShardCount = 16
+
+// sampleShards draws n samples from d, split into sampleShardCount
+// independently seeded shards executed on up to jobs workers. Shard s fills
+// out[s*n/C:(s+1)*n/C] from its own dist.NewRNG(seed, exp, stream, s)
+// generator, so the result depends only on (seed, exp, stream, n).
+func sampleShards(d dist.Distribution, seed, exp, stream uint64, n, jobs int) []float64 {
+	out := make([]float64, n)
+	_, _ = runner.Map(sampleShardCount, runner.Options{Workers: jobs},
+		func(s int) (struct{}, error) {
+			lo := s * n / sampleShardCount
+			hi := (s + 1) * n / sampleShardCount
+			r := dist.NewRNG(seed, exp, stream, uint64(s))
+			for i := lo; i < hi; i++ {
+				out[i] = d.Sample(r)
+			}
+			return struct{}{}, nil
+		})
+	return out
+}
 
 // TableRow compares one measured characteristic against the paper.
 type TableRow struct {
@@ -48,10 +84,11 @@ func (t Table1Result) Render() string {
 		strings.Join(lines, "\n"))
 }
 
-// Table1 generates n samples per characteristic and runs the fits.
-func Table1(seed uint64, n int) (Table1Result, error) {
+// Table1 generates n samples per characteristic and runs the fits. The three
+// sampled characteristics run as concurrent pipelines (sampling itself is
+// sharded; see sampleShards), each on its own derived RNG stream.
+func Table1(seed uint64, n, jobs int) (Table1Result, error) {
 	m := traffic.CounterStrike()
-	r := dist.NewRNG(seed)
 	var out Table1Result
 
 	fitGumbelLS := func(xs []float64) (dist.Gumbel, error) {
@@ -62,55 +99,70 @@ func Table1(seed uint64, n int) (Table1Result, error) {
 		return fit.GumbelLeastSquares(h)
 	}
 
-	// Server packet size: paper measured 127B CoV 0.74, fitted Ext(120,36).
-	// (Our sample comes from the fitted law, so the measured moments are the
-	// law's, not 127/0.74 - the table records both on purpose.)
-	ss := dist.SampleN(m.Server.PacketSize, r, n)
-	sSum := stats.Describe(ss)
-	g, err := fitGumbelLS(ss)
+	pipelines := []func(stream uint64) (TableRow, error){
+		// Server packet size: paper measured 127B CoV 0.74, fitted
+		// Ext(120,36). (Our sample comes from the fitted law, so the
+		// measured moments are the law's, not 127/0.74 - the table records
+		// both on purpose.)
+		func(stream uint64) (TableRow, error) {
+			ss := sampleShards(m.Server.PacketSize, seed, expTable1, stream, n, jobs)
+			sSum := stats.Describe(ss)
+			g, err := fitGumbelLS(ss)
+			if err != nil {
+				return TableRow{}, fmt.Errorf("table1 server size fit: %w", err)
+			}
+			return TableRow{
+				Metric:    "server packet size [B]",
+				PaperMean: 127, PaperCoV: 0.74,
+				Mean: sSum.Mean(), CoV: sSum.CoV(),
+				PaperModel:  "Ext(120, 36)",
+				FittedModel: fmt.Sprintf("Ext(%.0f, %.1f)", g.A, g.B),
+			}, nil
+		},
+		// Burst inter-arrival time: measured 62ms CoV 0.5, fitted Ext(55, 6).
+		func(stream uint64) (TableRow, error) {
+			ia := sampleShards(m.Server.IAT, seed, expTable1, stream, n, jobs)
+			for i := range ia {
+				ia[i] *= 1000 // to ms for the table
+			}
+			iaSum := stats.Describe(ia)
+			gi, err := fitGumbelLS(ia)
+			if err != nil {
+				return TableRow{}, fmt.Errorf("table1 burst IAT fit: %w", err)
+			}
+			return TableRow{
+				Metric:    "burst inter-arrival [ms]",
+				PaperMean: 62, PaperCoV: 0.5,
+				Mean: iaSum.Mean(), CoV: iaSum.CoV(),
+				PaperModel:  "Ext(55, 6)",
+				FittedModel: fmt.Sprintf("Ext(%.1f, %.2f)", gi.A, gi.B),
+			}, nil
+		},
+		// Client packet size: measured 82B CoV 0.12, fitted Ext(80, 5.7).
+		func(stream uint64) (TableRow, error) {
+			cs := sampleShards(m.Client[0].Size, seed, expTable1, stream, n, jobs)
+			cSum := stats.Describe(cs)
+			gc, err := fit.GumbelMLE(cs)
+			if err != nil {
+				return TableRow{}, fmt.Errorf("table1 client size fit: %w", err)
+			}
+			return TableRow{
+				Metric:    "client packet size [B]",
+				PaperMean: 82, PaperCoV: 0.12,
+				Mean: cSum.Mean(), CoV: cSum.CoV(),
+				PaperModel:  "Ext(80, 5.7)",
+				FittedModel: fmt.Sprintf("Ext(%.1f, %.2f)", gc.A, gc.B),
+			}, nil
+		},
+	}
+	rows, err := runner.Items(pipelines, runner.Options{Workers: jobs},
+		func(i int, p func(uint64) (TableRow, error)) (TableRow, error) {
+			return p(uint64(i))
+		})
 	if err != nil {
-		return out, fmt.Errorf("table1 server size fit: %w", err)
+		return out, err
 	}
-	out.Rows = append(out.Rows, TableRow{
-		Metric:    "server packet size [B]",
-		PaperMean: 127, PaperCoV: 0.74,
-		Mean: sSum.Mean(), CoV: sSum.CoV(),
-		PaperModel:  "Ext(120, 36)",
-		FittedModel: fmt.Sprintf("Ext(%.0f, %.1f)", g.A, g.B),
-	})
-
-	// Burst inter-arrival time: measured 62ms CoV 0.5, fitted Ext(55, 6).
-	ia := dist.SampleN(m.Server.IAT, r, n)
-	for i := range ia {
-		ia[i] *= 1000 // to ms for the table
-	}
-	iaSum := stats.Describe(ia)
-	gi, err := fitGumbelLS(ia)
-	if err != nil {
-		return out, fmt.Errorf("table1 burst IAT fit: %w", err)
-	}
-	out.Rows = append(out.Rows, TableRow{
-		Metric:    "burst inter-arrival [ms]",
-		PaperMean: 62, PaperCoV: 0.5,
-		Mean: iaSum.Mean(), CoV: iaSum.CoV(),
-		PaperModel:  "Ext(55, 6)",
-		FittedModel: fmt.Sprintf("Ext(%.1f, %.2f)", gi.A, gi.B),
-	})
-
-	// Client packet size: measured 82B CoV 0.12, fitted Ext(80, 5.7).
-	cs := dist.SampleN(m.Client[0].Size, r, n)
-	cSum := stats.Describe(cs)
-	gc, err := fit.GumbelMLE(cs)
-	if err != nil {
-		return out, fmt.Errorf("table1 client size fit: %w", err)
-	}
-	out.Rows = append(out.Rows, TableRow{
-		Metric:    "client packet size [B]",
-		PaperMean: 82, PaperCoV: 0.12,
-		Mean: cSum.Mean(), CoV: cSum.CoV(),
-		PaperModel:  "Ext(80, 5.7)",
-		FittedModel: fmt.Sprintf("Ext(%.1f, %.2f)", gc.A, gc.B),
-	})
+	out.Rows = rows
 
 	// Client IAT: measured 42ms CoV 0.24, modeled Det(40).
 	out.Rows = append(out.Rows, TableRow{
@@ -143,18 +195,33 @@ func (t Table2Result) Render() string {
 		strings.Join(lines, "\n"))
 }
 
-// Table2 generates n samples and ranks candidate size families.
-func Table2(seed uint64, n int) (Table2Result, error) {
+// Table2 generates n samples (sharded; see sampleShards) and ranks candidate
+// size families, fitting the three candidates concurrently.
+func Table2(seed uint64, n, jobs int) (Table2Result, error) {
 	m := traffic.HalfLife("crossfire")
-	r := dist.NewRNG(seed)
 	var out Table2Result
 
-	ss := dist.SampleN(m.Server.PacketSize, r, n)
+	ss := sampleShards(m.Server.PacketSize, seed, expTable2, 0, n, jobs)
 	sSum := stats.Describe(ss)
-	ln, err := fit.LogNormalMLE(ss)
+	// Fit the three candidate families concurrently; each is independent.
+	fits, err := runner.Map(3, runner.Options{Workers: jobs},
+		func(i int) (dist.Distribution, error) {
+			switch i {
+			case 0:
+				l, err := fit.LogNormalMLE(ss)
+				return l, err
+			case 1:
+				nrm, err := fit.NormalMLE(ss)
+				return nrm, err
+			default:
+				g, err := fit.GumbelMLE(ss)
+				return g, err
+			}
+		})
 	if err != nil {
 		return out, err
 	}
+	ln := fits[0].(dist.LogNormal)
 	out.Rows = append(out.Rows, TableRow{
 		Metric:    "server packet size [B]",
 		PaperMean: sSum.Mean(), PaperCoV: sSum.CoV(), // map-dependent; no absolute paper number
@@ -180,16 +247,8 @@ func Table2(seed uint64, n int) (Table2Result, error) {
 	// Family ranking: lognormal should beat normal and extreme for the
 	// (lognormal) server sizes; Lang found normal and lognormal both fit
 	// the client sizes.
-	norm, err := fit.NormalMLE(ss)
-	if err != nil {
-		return out, err
-	}
-	gum, err := fit.GumbelMLE(ss)
-	if err != nil {
-		return out, err
-	}
 	ranked, err := fit.RankByKS(ss, map[string]dist.Distribution{
-		"lognormal": ln, "normal": norm, "extreme": gum,
+		"lognormal": ln, "normal": fits[1], "extreme": fits[2],
 	})
 	if err != nil {
 		return out, err
@@ -263,24 +322,52 @@ func lanPartyConfig() netsim.Config {
 	}
 }
 
+// table3Replicas is the fixed replication grid of the LAN-party simulation:
+// the trace is produced by this many independent sub-simulations regardless
+// of the worker count, so the merged capture is byte-identical at any -jobs.
+const table3Replicas = 4
+
+// table3BurstStride separates the replicas' burst-id ranges in the merged
+// trace (each replica numbers its bursts from 0).
+const table3BurstStride = 1 << 20
+
 // Table3 simulates the LAN party for the given duration (seconds; the paper
-// traced six minutes = 360).
-func Table3(seed uint64, duration float64) (Table3Result, error) {
+// traced six minutes = 360). The trace is gathered as table3Replicas
+// independent replications - each with its own derived seed - run
+// concurrently and stitched into one contiguous capture: replica r's records
+// are shifted by r*duration/R in time and into a disjoint burst-id range.
+func Table3(seed uint64, duration float64, jobs int) (Table3Result, error) {
 	var out Table3Result
-	s, err := netsim.NewScenario(lanPartyConfig(), seed)
+	sub := duration / table3Replicas
+	runs, err := runner.Map(table3Replicas, runner.Options{Workers: jobs},
+		func(rep int) (*netsim.Results, error) {
+			s, err := netsim.NewScenario(lanPartyConfig(), dist.SplitSeed(seed, expTable3, uint64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			return s.Run(sub)
+		})
 	if err != nil {
 		return out, err
 	}
-	res, err := s.Run(duration)
-	if err != nil {
-		return out, err
+	merged := trace.New()
+	for rep, res := range runs {
+		off := float64(rep) * sub
+		for _, r := range res.Trace.Records() {
+			r.Time += off
+			if r.Burst >= 0 {
+				r.Burst += rep * table3BurstStride
+			}
+			merged.Append(r)
+		}
 	}
-	ts, err := trace.Analyze(res.Trace, 0.010)
+	merged.SortByTime()
+	ts, err := trace.Analyze(merged, 0.010)
 	if err != nil {
 		return out, err
 	}
 	out.Stats = ts
-	groups := trace.GroupBurstsByID(res.Trace)
+	groups := trace.GroupBurstsByID(merged)
 	out.BurstTotals = trace.BurstTotals(groups)
 	out.OrderStability = trace.OrderStability(groups)
 
