@@ -1,0 +1,207 @@
+// Command benchgate is the repository's benchmark regression gate: a
+// benchstat-style comparator with no dependency outside the standard
+// library, so CI (and a laptop) can gate on `go test -bench` output alone.
+//
+// It parses standard Go benchmark output (multiple -count runs per
+// benchmark are aggregated by their minimum: timing noise from the
+// scheduler and GC is strictly additive, so the min of repeated runs is
+// the most stable estimate of the code's true cost at small -benchtime,
+// where benchstat's median still jitters by tens of percent), and either
+// records a baseline or checks fresh output against one:
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 5 ./... | benchgate -update BENCH_baseline.json
+//	go test -run '^$' -bench . -benchtime 3x -count 5 ./... | benchgate -check  BENCH_baseline.json
+//
+// In -check mode any benchmark whose min ns/op exceeds baseline by more
+// than -threshold (default 20%) is a regression: benchgate prints a GitHub
+// annotation line for each and exits 1 (or 0 with -warn, leaving only the
+// annotations). Benchmarks missing on either side are reported but never
+// fail the gate, so adding or retiring benchmarks doesn't break CI; neither
+// do benchmarks whose baseline is under -min-ns (default 50 µs), where a
+// 3-iteration sample measures scheduler and timer noise, not the code.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed JSON schema: min ns/op per benchmark.
+type Baseline struct {
+	// Note documents how the baseline was produced (host, command).
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (with -cpu suffix stripped) to the
+	// minimum ns/op over the -count runs.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkServiceRTT/cached-8   300  5123 ns/op  12 B/op  1 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parse collects every ns/op sample per benchmark name from r.
+func parse(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines found in input")
+	}
+	return samples, nil
+}
+
+// center aggregates one benchmark's -count samples by their minimum:
+// noise only ever adds time, so the min tracks the code's true cost and a
+// genuine slowdown moves it just as surely as it moves the median.
+func center(xs []float64) float64 {
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+func centers(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		out[name] = center(xs)
+	}
+	return out
+}
+
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func run() error {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	update := fs.String("update", "", "write a new baseline JSON to this path and exit")
+	check := fs.String("check", "", "compare input against this baseline JSON")
+	in := fs.String("in", "-", "benchmark output to read ('-' = stdin)")
+	threshold := fs.Float64("threshold", 0.20, "relative slowdown that counts as a regression (0.20 = +20%)")
+	minNs := fs.Float64("min-ns", 50_000, "baseline ns/op below which a benchmark is informational only (at -benchtime 3x an op this cheap measures scheduler noise, not code)")
+	warn := fs.Bool("warn", false, "annotate regressions but exit 0")
+	note := fs.String("note", "", "provenance note stored in the baseline on -update")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	if (*update == "") == (*check == "") {
+		return fmt.Errorf("benchgate: exactly one of -update or -check is required")
+	}
+
+	input := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
+	}
+	samples, err := parse(input)
+	if err != nil {
+		return err
+	}
+	current := centers(samples)
+
+	if *update != "" {
+		data, err := json.MarshalIndent(Baseline{Note: *note, NsPerOp: current}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*update, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(current), *update)
+		return nil
+	}
+
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchgate: baseline %s: %w", *check, err)
+	}
+	if len(base.NsPerOp) == 0 {
+		return fmt.Errorf("benchgate: baseline %s holds no benchmarks", *check)
+	}
+
+	regressions := 0
+	for _, name := range sortedNames(current) {
+		now := current[name]
+		was, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Printf("new        %-56s %12.0f ns/op (not in baseline)\n", name, now)
+			continue
+		}
+		delta := now/was - 1
+		if was < *minNs {
+			fmt.Printf("%-10s %-56s %12.0f -> %10.0f ns/op (%+.1f%%)\n", "noisy", name, was, now, 100*delta)
+			continue
+		}
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSION"
+			regressions++
+			level := "error"
+			if *warn {
+				level = "warning"
+			}
+			// GitHub workflow annotation: visible on the run summary.
+			fmt.Printf("::%s title=benchmark regression::%s is %.1f%% slower than baseline (%.0f -> %.0f ns/op)\n",
+				level, name, 100*delta, was, now)
+		}
+		fmt.Printf("%-10s %-56s %12.0f -> %10.0f ns/op (%+.1f%%)\n", status, name, was, now, 100*delta)
+	}
+	for _, name := range sortedNames(base.NsPerOp) {
+		if _, ok := current[name]; !ok {
+			fmt.Printf("missing    %-56s (in baseline, not in run)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchgate: %d regression(s) beyond +%.0f%%\n", regressions, 100**threshold)
+		if !*warn {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("benchgate: all %d benchmarks within +%.0f%% of baseline\n", len(current), 100**threshold)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

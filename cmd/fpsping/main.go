@@ -31,6 +31,7 @@ import (
 	"fpsping/internal/experiments"
 	"fpsping/internal/netsim"
 	"fpsping/internal/runner"
+	"fpsping/internal/scenario"
 	"fpsping/internal/trace"
 	"fpsping/internal/traffic"
 )
@@ -84,7 +85,9 @@ commands:
   analyze      compute Table-3 statistics from a trace CSV
   models       list built-in game traffic models
 
-run 'fpsping <command> -h' for flags.
+run 'fpsping <command> -h' for flags. Scenario flags (-gamers, -ps, -t, ...)
+are shared verbatim with the fpspingd daemon's JSON/query parameters: the
+same scenario definition works on both (see internal/scenario and README).
 `)
 }
 
@@ -94,47 +97,13 @@ func jobsFlag(fs *flag.FlagSet) *int {
 		"worker pool size for parallel work (output is identical at any value)")
 }
 
-// modelFlags installs the shared scenario flags and returns a loader.
-func modelFlags(fs *flag.FlagSet) func() core.Model {
-	gamers := fs.Float64("gamers", 80, "number of gamers N")
-	pc := fs.Float64("pc", 80, "client packet size [bytes]")
-	ps := fs.Float64("ps", 125, "server packet size [bytes]")
-	tms := fs.Float64("t", 40, "burst inter-arrival time T [ms]")
-	dms := fs.Float64("d", 0, "client inter-arrival time D [ms] (0 = T)")
-	rup := fs.Float64("rup", 128, "uplink access rate [kbit/s]")
-	rdown := fs.Float64("rdown", 1024, "downlink access rate [kbit/s]")
-	c := fs.Float64("c", 5000, "aggregation link rate [kbit/s]")
-	k := fs.Int("k", 9, "Erlang order K of the burst size")
-	q := fs.Float64("q", core.DefaultQuantile, "RTT quantile level")
-	fixed := fs.Float64("fixed", 0, "extra fixed delay (propagation+processing) [ms]")
-	return func() core.Model {
-		return core.Model{
-			Gamers:             *gamers,
-			ClientPacketBytes:  *pc,
-			ServerPacketBytes:  *ps,
-			BurstInterval:      *tms / 1000,
-			ClientInterval:     *dms / 1000,
-			UplinkAccessRate:   *rup * 1000,
-			DownlinkAccessRate: *rdown * 1000,
-			AggregateRate:      *c * 1000,
-			ErlangOrder:        *k,
-			Quantile:           *q,
-			FixedDelay:         *fixed / 1000,
-		}
-	}
-}
-
 func cmdRTT(args []string) error {
 	fs := flag.NewFlagSet("rtt", flag.ExitOnError)
-	load := fs.Float64("load", 0, "set downlink load instead of -gamers (0 = use -gamers)")
-	get := modelFlags(fs)
+	sc := scenario.Flags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m := get()
-	if *load > 0 {
-		m = m.WithDownlinkLoad(*load)
-	}
+	m := sc.Model()
 	comp, err := m.Decompose()
 	if err != nil {
 		return err
@@ -159,7 +128,7 @@ func cmdRTT(args []string) error {
 
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	get := modelFlags(fs)
+	sc := scenario.Flags(fs)
 	from := fs.Float64("from", 0.05, "first downlink load")
 	to := fs.Float64("to", 0.90, "last downlink load")
 	step := fs.Float64("step", 0.05, "load step")
@@ -170,12 +139,8 @@ func cmdSweep(args []string) error {
 	if !(*step > 0) || !(*from > 0) || *to < *from {
 		return fmt.Errorf("bad sweep range [%g, %g] step %g", *from, *to, *step)
 	}
-	var loads []float64
-	for r := *from; r <= *to+1e-12; r += *step {
-		loads = append(loads, r)
-	}
-	m := get()
-	pts, err := m.SweepLoadsParallel(loads, *jobs)
+	m := sc.Model()
+	pts, err := m.SweepLoadsParallel(core.LoadGrid(*from, *to, *step), *jobs)
 	if err != nil {
 		return err
 	}
@@ -188,12 +153,12 @@ func cmdSweep(args []string) error {
 
 func cmdDimension(args []string) error {
 	fs := flag.NewFlagSet("dimension", flag.ExitOnError)
-	get := modelFlags(fs)
+	sc := scenario.Flags(fs)
 	bound := fs.Float64("bound", 50, "RTT bound [ms]")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m := get()
+	m := sc.Model()
 	res, err := m.MaxLoad(*bound / 1000)
 	if err != nil {
 		return err
@@ -290,16 +255,16 @@ func cmdAll(args []string) error {
 
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
-	get := modelFlags(fs)
-	load := fs.Float64("load", 0.5, "downlink load")
+	sc := scenario.Default()
+	sc.Load = 0.5 // simulate defaults to a half-loaded downlink
+	sc.Register(fs)
 	duration := fs.Float64("duration", 300, "simulated seconds")
 	seed := fs.Uint64("seed", 1, "random seed")
 	level := fs.Float64("simq", 0.999, "quantile level to compare (sim needs samples)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m := get()
-	m = m.WithDownlinkLoad(*load)
+	m := sc.Model()
 	m.Quantile = *level
 	pred, err := m.RTTQuantile()
 	if err != nil {

@@ -1,0 +1,80 @@
+// Command fpspingd serves the ping-time model as a long-lived HTTP/JSON
+// daemon: the operational counterpart of the fpsping CLI. An ISP or game
+// operator can ask "what ping will gamers see at this load, and how many
+// fit under 50 ms?" millions of times without re-running a computation —
+// repeated scenarios are answered from an LRU memo cache.
+//
+// Endpoints (scenario parameters are the CLI flags, as JSON keys or query
+// parameters — see internal/scenario):
+//
+//	POST /v1/rtt        {"gamers":80,"ps":125,"t":40,"k":9}    quantile + decomposition
+//	GET  /v1/rtt?load=0.5&ps=125&t=60                          same, query form
+//	POST /v1/rtt:batch  {"scenarios":[{...},{...}]}            many scenarios, one call
+//	POST /v1/sweep      {"scenario":{...},"from":0.05,"to":0.9,"step":0.05}
+//	POST /v1/dimension  {"scenario":{...},"bound_ms":50}       max load / max gamers
+//	GET  /v1/models                                            built-in game traffic models
+//	GET  /healthz                                              liveness + cache stats
+//	GET  /metrics                                              Prometheus text format
+//
+// Responses are byte-identical at any -jobs value and across cache states;
+// only latency (and X-Fpsping-Cache: hit|miss) reveals the cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpsping/internal/runner"
+	"fpsping/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("fpspingd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7900", "listen address (host:port; port 0 picks a free port)")
+	jobs := fs.Int("jobs", runner.DefaultWorkers(),
+		"worker pool size for batch and sweep fan-out (responses are identical at any value)")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "memo cache capacity in entries")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(*addr, *jobs, *cacheSize, *drain); err != nil {
+		log.Fatal("fpspingd: ", err)
+	}
+}
+
+func run(addr string, jobs, cacheSize int, drain time.Duration) error {
+	// One process-wide budget: nested fan-outs (a batch of sweeps) share
+	// -jobs instead of multiplying it.
+	runner.SetMaxParallel(jobs)
+	srv := service.NewServer(addr, service.NewEngine(jobs, cacheSize))
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	log.Printf("fpspingd: listening on http://%s (jobs=%d cache=%d)", srv.Addr(), jobs, cacheSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("fpspingd: draining (up to %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}

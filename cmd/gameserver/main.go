@@ -55,10 +55,10 @@ func main() {
 		select {
 		case <-sig:
 			fmt.Printf("\nshutting down: %d clients, %d ticks, %d updates received\n",
-				srv.Clients(), srv.Ticks, srv.PacketsIn)
+				srv.Clients(), srv.Ticks(), srv.PacketsIn())
 			return
 		case <-status.C:
-			fmt.Printf("clients=%d ticks=%d updates=%d\n", srv.Clients(), srv.Ticks, srv.PacketsIn)
+			fmt.Printf("clients=%d ticks=%d updates=%d\n", srv.Clients(), srv.Ticks(), srv.PacketsIn())
 		}
 	}
 }

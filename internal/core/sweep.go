@@ -37,7 +37,7 @@ func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
 		out = append(out, SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("core: no stable points in sweep of %s", m)
+		return nil, fmt.Errorf("core: no stable points in sweep of %s: %w", m, ErrUnstable)
 	}
 	return out, nil
 }
@@ -82,9 +82,21 @@ func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, e
 		out = append(out, cells[i].pt)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("core: no stable points in sweep of %s", m)
+		return nil, fmt.Errorf("core: no stable points in sweep of %s: %w", m, ErrUnstable)
 	}
 	return out, nil
+}
+
+// LoadGrid returns the closed load range [from, to] in step increments
+// (with an epsilon so the endpoint survives float accumulation). It is the
+// one grid builder behind both the CLI's sweep command and the daemon's
+// /v1/sweep, so the two can never disagree about a grid's endpoints.
+func LoadGrid(from, to, step float64) []float64 {
+	var loads []float64
+	for r := from; r <= to+1e-12; r += step {
+		loads = append(loads, r)
+	}
+	return loads
 }
 
 // PaperLoadGrid returns the load axis used by Figures 3-4: 5% to 90% in 5%

@@ -233,7 +233,7 @@ func TestShaperRateLimiting(t *testing.T) {
 	defer c.Close()
 
 	time.Sleep(500 * time.Millisecond)
-	in := srv.PacketsIn
+	in := srv.PacketsIn()
 	// 500ms at 5ms per packet: at most ~100 packets can have crossed, even
 	// though the client offered ~500.
 	if in > 120 {

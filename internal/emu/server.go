@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fpsping/internal/dist"
@@ -36,9 +37,11 @@ type Server struct {
 	nextID  uint16
 	closed  bool
 
-	// Ticks counts bursts sent; PacketsIn counts client updates received.
-	Ticks     int64
-	PacketsIn int64
+	// ticks counts bursts sent; packetsIn counts client updates received.
+	// They are read by monitoring goroutines (cmd/gameserver, tests) while
+	// the loops run, hence atomic.
+	ticks     atomic.Int64
+	packetsIn atomic.Int64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -79,6 +82,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	go s.tickLoop()
 	return s, nil
 }
+
+// Ticks reports how many bursts the server has sent.
+func (s *Server) Ticks() int64 { return s.ticks.Load() }
+
+// PacketsIn reports how many client updates the server has received.
+func (s *Server) PacketsIn() int64 { return s.packetsIn.Load() }
 
 // Addr returns the bound address.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
@@ -129,7 +138,7 @@ func (s *Server) receiveLoop() {
 				c.lastSeq = h.Seq
 				c.lastSent = h.SentNano
 				c.addr = raddr // follow NAT rebinding
-				s.PacketsIn++
+				s.packetsIn.Add(1)
 			}
 			s.mu.Unlock()
 		case MsgLeave:
@@ -182,7 +191,7 @@ func (s *Server) tick() {
 		c.seq++
 		targets = append(targets, target{id: id, addr: c.addr, seq: c.seq, echo: c.lastSeq, sent: c.lastSent})
 	}
-	s.Ticks++
+	s.ticks.Add(1)
 	s.mu.Unlock()
 	for _, t := range targets {
 		size := int(s.cfg.PacketSize.Sample(s.rng) + 0.5)

@@ -248,3 +248,25 @@ func TestDefaultWorkersPositive(t *testing.T) {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
 	}
 }
+
+// BenchmarkMapFanOut measures the fan-out engine itself on small CPU-bound
+// jobs: the per-job dispatch overhead every layer above pays. CI's
+// benchmark gate watches it alongside the dist and service hot paths.
+func BenchmarkMapFanOut(b *testing.B) {
+	work := func(j int) (int, error) {
+		s := 0
+		for k := 0; k < 2000; k++ {
+			s += k ^ j
+		}
+		return s, nil
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Map(256, Options{Workers: w}, work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

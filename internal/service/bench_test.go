@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"fpsping/internal/scenario"
+)
+
+// BenchmarkServiceRTT is the daemon's hot path: one /v1/rtt evaluation,
+// cold (full MGF inversion plus quantile bisections) versus cached (memo
+// lookup). The cached/cold ratio is the whole case for the cache; CI's
+// benchmark gate watches both.
+func BenchmarkServiceRTT(b *testing.B) {
+	sc := scenario.Default()
+	sc.Load = 0.5
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(1, 0)
+			if _, _, err := e.RTT(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := NewEngine(1, 0)
+		if _, _, err := e.RTT(sc); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, cached, err := e.RTT(sc); err != nil || !cached {
+				b.Fatalf("cached=%v err=%v", cached, err)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceBatch evaluates a 16-scenario batch (a load grid, all
+// distinct) cold at several worker counts: the fan-out speedup of
+// /v1/rtt:batch. The warm case measures the all-hits path.
+func BenchmarkServiceBatch(b *testing.B) {
+	scs := make([]scenario.Scenario, 16)
+	for i := range scs {
+		sc := scenario.Default()
+		sc.Load = 0.05 + 0.05*float64(i)
+		scs[i] = sc
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("cold/jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(jobs, 0)
+				res := e.Batch(scs)
+				for _, item := range res.Results {
+					if item.Error != "" {
+						b.Fatal(item.Error)
+					}
+				}
+			}
+		})
+	}
+	b.Run("warm", func(b *testing.B) {
+		e := NewEngine(4, 0)
+		e.Batch(scs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := e.Batch(scs); res.Cached != len(scs) {
+				b.Fatalf("only %d/%d cached", res.Cached, len(scs))
+			}
+		}
+	})
+}
+
+// BenchmarkServiceSweep measures a cached-vs-cold /v1/sweep over the
+// paper's 18-point load grid.
+func BenchmarkServiceSweep(b *testing.B) {
+	sc := scenario.Default()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(4, 0)
+			if _, _, err := e.Sweep(sc, 0.05, 0.90, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := NewEngine(4, 0)
+		if _, _, err := e.Sweep(sc, 0.05, 0.90, 0.05); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, cached, err := e.Sweep(sc, 0.05, 0.90, 0.05); err != nil || !cached {
+				b.Fatalf("cached=%v err=%v", cached, err)
+			}
+		}
+	})
+}

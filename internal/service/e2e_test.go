@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootDaemon starts a real daemon on a loopback port (what cmd/fpspingd
+// does, minus flags and signals) and returns its base URL plus a shutdown
+// function.
+func bootDaemon(t *testing.T, jobs int) (string, func() error) {
+	t.Helper()
+	srv := NewServer("127.0.0.1:0", NewEngine(jobs, 0))
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	shutdown := func() error {
+		// net/http treats a dialed-but-never-used keep-alive connection as
+		// potentially active for its first 5 seconds; the drain deadline
+		// must exceed that grace or a speculative client dial flakes the
+		// graceful shutdown.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-served
+	}
+	return "http://" + srv.Addr(), shutdown
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestE2EDaemon boots the daemon on a loopback port and checks the two
+// headline service properties end to end:
+//
+//  1. an identical repeated query is answered from the cache — visibly
+//     faster and byte-identical;
+//  2. responses are byte-identical across -jobs values, for every model
+//     endpoint.
+func TestE2EDaemon(t *testing.T) {
+	base1, stop1 := bootDaemon(t, 1)
+	base8, stop8 := bootDaemon(t, 8)
+
+	// --- cached vs cold -------------------------------------------------
+	const rttPath = "/v1/rtt?load=0.55&ps=140&t=50&k=9"
+	start := time.Now()
+	respCold, bodyCold := get(t, base8+rttPath)
+	cold := time.Since(start)
+	if respCold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", respCold.StatusCode, bodyCold)
+	}
+	if h := respCold.Header.Get(cacheHeader); h != "miss" {
+		t.Fatalf("cold cache header %q", h)
+	}
+	warm := cold
+	for i := 0; i < 5; i++ {
+		start = time.Now()
+		respWarm, bodyWarm := get(t, base8+rttPath)
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+		if h := respWarm.Header.Get(cacheHeader); h != "hit" {
+			t.Fatalf("repeat %d cache header %q", i, h)
+		}
+		if string(bodyWarm) != string(bodyCold) {
+			t.Fatalf("cached body differs from cold:\n%s\n%s", bodyWarm, bodyCold)
+		}
+	}
+	// Cold evaluation runs several quantile bisections (~tens of ms); a hit
+	// is a map lookup plus loopback HTTP (~hundreds of µs). A 2x margin
+	// keeps this robust on slow CI machines while still proving the cache.
+	if warm*2 >= cold {
+		t.Errorf("cache hit not faster: cold %v vs best cached %v", cold, warm)
+	}
+
+	// --- byte-identical across -jobs ------------------------------------
+	batchBody := `{"scenarios": [{"load": 0.2}, {"load": 0.4}, {"ps": 250, "t": 60}, {"load": 0.4}]}`
+	sweepBody := `{"scenario": {"ps": 125, "t": 60}, "from": 0.05, "to": 0.9, "step": 0.05}`
+	dimBody := `{"scenario": {"ps": 125, "t": 60}, "bound_ms": 50}`
+	checks := []struct {
+		name string
+		ask  func(base string) []byte
+	}{
+		{"rtt", func(base string) []byte { _, b := get(t, base+rttPath); return b }},
+		{"batch", func(base string) []byte { _, b := post(t, base+"/v1/rtt:batch", batchBody); return b }},
+		{"sweep", func(base string) []byte { _, b := post(t, base+"/v1/sweep", sweepBody); return b }},
+		{"dimension", func(base string) []byte { _, b := post(t, base+"/v1/dimension", dimBody); return b }},
+		{"models", func(base string) []byte { _, b := get(t, base+"/v1/models"); return b }},
+	}
+	for _, c := range checks {
+		b1 := c.ask(base1)
+		b8 := c.ask(base8)
+		if string(b1) != string(b8) {
+			t.Errorf("%s: -jobs 1 and -jobs 8 responses differ:\n%s\n%s", c.name, b1, b8)
+		}
+	}
+
+	// --- graceful shutdown ----------------------------------------------
+	for name, stop := range map[string]func() error{"jobs1": stop1, "jobs8": stop8} {
+		if err := stop(); err != nil {
+			t.Errorf("%s shutdown: %v", name, err)
+		}
+	}
+	if _, err := http.Get(base8 + "/healthz"); err == nil {
+		t.Error("daemon still answering after shutdown")
+	}
+}
+
+// TestE2EConcurrentClients hammers one daemon from many goroutines mixing
+// all endpoints; run under -race this is the service's concurrency-safety
+// proof. Every response for the same query must be byte-identical.
+func TestE2EConcurrentClients(t *testing.T) {
+	base, stop := bootDaemon(t, 4)
+	defer func() {
+		if err := stop(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	_, ref := get(t, base+"/v1/rtt?load=0.5")
+	// fetch is used from client goroutines, so it reports errors instead of
+	// failing the test from the wrong goroutine.
+	fetch := func(url string) (int, []byte, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+	const clients = 8
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			for i := 0; i < 5; i++ {
+				switch (c + i) % 3 {
+				case 0:
+					status, body, err := fetch(base + "/v1/rtt?load=0.5")
+					if err != nil || status != http.StatusOK || string(body) != string(ref) {
+						errc <- fmt.Errorf("client %d: divergent rtt response (err=%v): %s", c, err, body)
+						return
+					}
+				case 1:
+					status, _, err := fetch(base + fmt.Sprintf("/v1/rtt?load=0.%d5", 1+(c+i)%8))
+					if err != nil || status != http.StatusOK {
+						errc <- fmt.Errorf("client %d: rtt status %d err %v", c, status, err)
+						return
+					}
+				case 2:
+					status, _, err := fetch(base + "/metrics")
+					if err != nil || status != http.StatusOK {
+						errc <- fmt.Errorf("client %d: metrics status %d err %v", c, status, err)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+}

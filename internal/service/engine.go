@@ -1,0 +1,293 @@
+// Package service puts the paper's ping model behind a long-lived daemon:
+// a concurrency-safe Engine layered over internal/core with an LRU memo
+// cache keyed by canonical scenario (the Erlang/Mixture quantile bisections
+// and sweep grids are the hot path, so repeated queries must not recompute
+// them), batch fan-out over internal/runner, and an HTTP/JSON front end
+// (cmd/fpspingd) with counters and latency histograms via internal/stats.
+//
+// Determinism contract: like every layer below, responses are byte-identical
+// at any worker count and identical between cold and cached evaluation, so
+// a cache hit is observable only as latency (and in /metrics), never as a
+// different answer.
+package service
+
+import (
+	"fmt"
+
+	"fpsping/internal/core"
+	"fpsping/internal/runner"
+	"fpsping/internal/scenario"
+)
+
+// DefaultCacheSize is the engine's memo-cache capacity when the caller does
+// not choose one. At ~300 bytes per RTT entry this stays well under a
+// megabyte while covering far more distinct scenarios than a dimensioning
+// session touches.
+const DefaultCacheSize = 4096
+
+// Engine evaluates scenarios concurrently with memoization. All methods are
+// safe for concurrent use; results handed out on cache hits are shared, so
+// callers must treat them as immutable.
+type Engine struct {
+	jobs    int
+	cache   *lruCache
+	metrics *Metrics
+}
+
+// NewEngine returns an engine fanning batch work over at most jobs workers
+// (<= 0 means one per CPU) and memoizing up to cacheSize results (<= 0
+// means DefaultCacheSize).
+func NewEngine(jobs, cacheSize int) *Engine {
+	if jobs <= 0 {
+		jobs = runner.DefaultWorkers()
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Engine{jobs: jobs, cache: newLRU(cacheSize), metrics: NewMetrics()}
+}
+
+// Jobs returns the engine's worker budget.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Metrics returns the engine's metrics registry (shared with the HTTP
+// layer).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// CacheStats returns the memo cache's entry count and cumulative hit/miss
+// counters.
+func (e *Engine) CacheStats() (entries int, hits, misses uint64) {
+	hits, misses = e.cache.Stats()
+	return e.cache.Len(), hits, misses
+}
+
+// ComponentsMs is the RTT decomposition in milliseconds, each stochastic
+// part reported at the scenario's quantile level in isolation (the quantile
+// of the sum is not the sum of quantiles; Total in RTTResult is the true
+// combined quantile).
+type ComponentsMs struct {
+	Serialization float64 `json:"serialization"`
+	Fixed         float64 `json:"fixed"`
+	Upstream      float64 `json:"upstream"`
+	BurstWait     float64 `json:"burst_wait"`
+	Position      float64 `json:"position"`
+}
+
+// RTTResult answers one /v1/rtt query: loads, mean, the headline quantile
+// and its decomposition, all in milliseconds.
+type RTTResult struct {
+	// Scenario echoes the query with defaults resolved.
+	Scenario scenario.Scenario `json:"scenario"`
+	// Gamers is the effective N (after a load shorthand is applied).
+	Gamers       float64 `json:"gamers"`
+	DownlinkLoad float64 `json:"downlink_load"`
+	UplinkLoad   float64 `json:"uplink_load"`
+	MeanMs       float64 `json:"mean_ms"`
+	// Quantile is the level QuantileMs is evaluated at.
+	Quantile   float64      `json:"quantile"`
+	QuantileMs float64      `json:"quantile_ms"`
+	Components ComponentsMs `json:"components_ms"`
+}
+
+// RTT evaluates one scenario's RTT quantile, decomposition and mean,
+// memoized on the canonical scenario key. The bool reports whether the
+// answer came from the cache.
+func (e *Engine) RTT(sc scenario.Scenario) (RTTResult, bool, error) {
+	if err := sc.Validate(); err != nil {
+		return RTTResult{}, false, err
+	}
+	key := "rtt|" + sc.Canonical()
+	if v, ok := e.cache.Get(key); ok {
+		out := v.(RTTResult)
+		// Echo this request's spelling: equivalent scenarios (load vs
+		// gamers, explicit defaults) share a cache slot but keep their own
+		// echo, so a hit is byte-identical to what a cold evaluation of the
+		// same request would return.
+		out.Scenario = sc
+		return out, true, nil
+	}
+	m := sc.Model()
+	comp, err := m.Decompose()
+	if err != nil {
+		return RTTResult{}, false, err
+	}
+	mean, err := m.MeanRTT()
+	if err != nil {
+		return RTTResult{}, false, err
+	}
+	level := sc.Quantile
+	if level == 0 {
+		level = core.DefaultQuantile
+	}
+	out := RTTResult{
+		Scenario:     sc,
+		Gamers:       m.Gamers,
+		DownlinkLoad: m.DownlinkLoad(),
+		UplinkLoad:   m.UplinkLoad(),
+		MeanMs:       1000 * mean,
+		Quantile:     level,
+		QuantileMs:   1000 * comp.Total,
+		Components: ComponentsMs{
+			Serialization: 1000 * comp.Serialization,
+			Fixed:         1000 * comp.Fixed,
+			Upstream:      1000 * comp.Upstream,
+			BurstWait:     1000 * comp.BurstWait,
+			Position:      1000 * comp.Position,
+		},
+	}
+	e.cache.Put(key, out)
+	return out, false, nil
+}
+
+// SweepPoint is one point of an RTT-versus-load curve.
+type SweepPoint struct {
+	Load   float64 `json:"load"`
+	Gamers float64 `json:"gamers"`
+	RTTMs  float64 `json:"rtt_ms"`
+}
+
+// SweepResult answers one /v1/sweep query.
+type SweepResult struct {
+	Scenario scenario.Scenario `json:"scenario"`
+	From     float64           `json:"from"`
+	To       float64           `json:"to"`
+	Step     float64           `json:"step"`
+	Points   []SweepPoint      `json:"points"`
+}
+
+// Sweep evaluates the RTT-vs-load curve over [from, to] in step increments,
+// parallelized over the engine's worker budget and memoized on the grid as
+// a whole. The curve stops at the first unstable load (the asymptote),
+// exactly like core.SweepLoads.
+func (e *Engine) Sweep(sc scenario.Scenario, from, to, step float64) (SweepResult, bool, error) {
+	if !(step > 0) || !(from > 0) || to < from {
+		return SweepResult{}, false, fmt.Errorf("%w: bad sweep range [%g, %g] step %g",
+			core.ErrBadModel, from, to, step)
+	}
+	if err := sc.Validate(); err != nil {
+		return SweepResult{}, false, err
+	}
+	key := fmt.Sprintf("sweep|%s|%g|%g|%g", sc.Canonical(), from, to, step)
+	if v, ok := e.cache.Get(key); ok {
+		out := v.(SweepResult)
+		out.Scenario = sc
+		return out, true, nil
+	}
+	pts, err := sc.Model().SweepLoadsParallel(core.LoadGrid(from, to, step), e.jobs)
+	if err != nil {
+		return SweepResult{}, false, err
+	}
+	out := SweepResult{Scenario: sc, From: from, To: to, Step: step,
+		Points: make([]SweepPoint, len(pts))}
+	for i, p := range pts {
+		out.Points[i] = SweepPoint{Load: p.Load, Gamers: p.Gamers, RTTMs: 1000 * p.RTT}
+	}
+	e.cache.Put(key, out)
+	return out, false, nil
+}
+
+// DimensionResult answers one /v1/dimension query: the §4 dimensioning rule
+// for the scenario under an RTT bound.
+type DimensionResult struct {
+	Scenario        scenario.Scenario `json:"scenario"`
+	BoundMs         float64           `json:"bound_ms"`
+	MaxDownlinkLoad float64           `json:"max_downlink_load"`
+	MaxGamers       int               `json:"max_gamers"`
+	RTTAtMaxMs      float64           `json:"rtt_at_max_ms"`
+}
+
+// Dimension finds the maximum load and whole-gamer count whose RTT quantile
+// stays within boundMs, memoized on (scenario, bound). The bisection behind
+// it evaluates dozens of quantile inversions, making this the endpoint that
+// profits most from the cache.
+func (e *Engine) Dimension(sc scenario.Scenario, boundMs float64) (DimensionResult, bool, error) {
+	if err := sc.Validate(); err != nil {
+		return DimensionResult{}, false, err
+	}
+	key := fmt.Sprintf("dim|%s|%g", sc.Canonical(), boundMs)
+	if v, ok := e.cache.Get(key); ok {
+		out := v.(DimensionResult)
+		out.Scenario = sc
+		return out, true, nil
+	}
+	res, err := sc.Model().MaxLoad(boundMs / 1000)
+	if err != nil {
+		return DimensionResult{}, false, err
+	}
+	out := DimensionResult{
+		Scenario:        sc,
+		BoundMs:         boundMs,
+		MaxDownlinkLoad: res.MaxDownlinkLoad,
+		MaxGamers:       res.MaxGamers,
+		RTTAtMaxMs:      1000 * res.RTTAtMax,
+	}
+	e.cache.Put(key, out)
+	return out, false, nil
+}
+
+// BatchItem is one outcome of a batch evaluation: exactly one of Result or
+// Error is set. A per-item error never fails the batch.
+type BatchItem struct {
+	Result *RTTResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// BatchResult answers one /v1/rtt:batch query, results in request order.
+type BatchResult struct {
+	Results []BatchItem `json:"results"`
+	// Cached counts how many items were answered from the cache.
+	Cached int `json:"cached"`
+}
+
+// Batch evaluates many scenarios with the per-scenario memoization of RTT,
+// fanned out over internal/runner under the shared SetMaxParallel budget.
+// Duplicate scenarios within one batch are evaluated once: the duplicates
+// are answered from the cache entry the first evaluation stored.
+func (e *Engine) Batch(scs []scenario.Scenario) BatchResult {
+	out := BatchResult{Results: make([]BatchItem, len(scs))}
+	if len(scs) == 0 {
+		return out
+	}
+	// Evaluate distinct scenarios first so intra-batch duplicates become
+	// cache hits instead of racing to recompute the same key. Canonical
+	// keys are computed once per item; order is in item order by
+	// construction.
+	keys := make([]string, len(scs))
+	first := make(map[string]int, len(scs))
+	var order []int
+	for i, sc := range scs {
+		keys[i] = sc.Canonical()
+		if _, ok := first[keys[i]]; !ok {
+			first[keys[i]] = i
+			order = append(order, i)
+		}
+	}
+	type eval struct {
+		res    RTTResult
+		cached bool
+		err    error
+	}
+	evals, _ := runner.TryMap(len(order), runner.Options{Workers: e.jobs},
+		func(j int) (eval, error) {
+			res, cached, err := e.RTT(scs[order[j]])
+			return eval{res: res, cached: cached, err: err}, nil
+		})
+	byKey := make(map[string]eval, len(order))
+	for j, idx := range order {
+		byKey[keys[idx]] = evals[j]
+	}
+	for i, sc := range scs {
+		ev := byKey[keys[i]]
+		if ev.err != nil {
+			out.Results[i] = BatchItem{Error: ev.err.Error()}
+			continue
+		}
+		res := ev.res
+		res.Scenario = sc // echo each item's own spelling
+		out.Results[i] = BatchItem{Result: &res}
+		if ev.cached || first[keys[i]] != i {
+			out.Cached++
+		}
+	}
+	return out
+}

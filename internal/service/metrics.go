@@ -1,0 +1,134 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"fpsping/internal/stats"
+)
+
+// metricLevels are the latency quantiles /metrics reports per endpoint.
+var metricLevels = []float64{0.5, 0.9, 0.99}
+
+// endpointStats accumulates one endpoint's counters and latency sketch. The
+// latency distribution is tracked with the stats package's streaming
+// estimators (Welford summary + P² quantile markers), so /metrics costs O(1)
+// memory however many requests the daemon has served.
+type endpointStats struct {
+	requests  uint64
+	errors    uint64
+	cacheHits uint64
+	latency   stats.Summary
+	quantiles []*stats.PQuantile
+}
+
+// Metrics is the daemon's concurrency-safe instrumentation: per-endpoint
+// request/error/cache-hit counters and streaming latency histograms,
+// rendered in Prometheus text exposition format.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one request against the endpoint: its latency, whether it
+// was answered from the engine cache, and whether it failed.
+func (m *Metrics) Observe(endpoint string, elapsed time.Duration, cached bool, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		es = &endpointStats{}
+		for _, p := range metricLevels {
+			pq, err := stats.NewPQuantile(p)
+			if err != nil {
+				panic("service: metric level out of range: " + err.Error())
+			}
+			es.quantiles = append(es.quantiles, pq)
+		}
+		m.endpoints[endpoint] = es
+	}
+	es.requests++
+	if failed {
+		es.errors++
+	}
+	if cached {
+		es.cacheHits++
+	}
+	sec := elapsed.Seconds()
+	es.latency.Add(sec)
+	for _, pq := range es.quantiles {
+		pq.Add(sec)
+	}
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format. Output
+// is sorted by endpoint so scrapes are stable.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	printf := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := printf("# TYPE fpsping_uptime_seconds gauge\nfpsping_uptime_seconds %.3f\n",
+		time.Since(m.start).Seconds()); err != nil {
+		return n, err
+	}
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		es := m.endpoints[name]
+		if err := printf("fpsping_requests_total{endpoint=%q} %d\n", name, es.requests); err != nil {
+			return n, err
+		}
+		if err := printf("fpsping_request_errors_total{endpoint=%q} %d\n", name, es.errors); err != nil {
+			return n, err
+		}
+		if err := printf("fpsping_cache_hits_total{endpoint=%q} %d\n", name, es.cacheHits); err != nil {
+			return n, err
+		}
+		if es.latency.Count() > 0 {
+			if err := printf("fpsping_request_latency_seconds_sum{endpoint=%q} %g\n",
+				name, es.latency.Mean()*float64(es.latency.Count())); err != nil {
+				return n, err
+			}
+			if err := printf("fpsping_request_latency_seconds_count{endpoint=%q} %d\n",
+				name, es.latency.Count()); err != nil {
+				return n, err
+			}
+			for i, p := range metricLevels {
+				if err := printf("fpsping_request_latency_seconds{endpoint=%q,quantile=\"%g\"} %g\n",
+					name, p, es.quantiles[i].Value()); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// Snapshot returns (requests, errors, cacheHits) for one endpoint; zeros if
+// the endpoint has not been hit. Tests use it to assert cache behavior.
+func (m *Metrics) Snapshot(endpoint string) (requests, errors, cacheHits uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return 0, 0, 0
+	}
+	return es.requests, es.errors, es.cacheHits
+}

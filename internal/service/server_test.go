@@ -1,0 +1,270 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, jobs int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer("127.0.0.1:0", NewEngine(jobs, 0))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, strings.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestRTTEndpointGetAndPostAgree(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	respGet, bodyGet := do(t, http.MethodGet, ts.URL+"/v1/rtt?load=0.5", "")
+	if respGet.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d: %s", respGet.StatusCode, bodyGet)
+	}
+	if got := respGet.Header.Get(cacheHeader); got != "miss" {
+		t.Errorf("first call cache header %q", got)
+	}
+	respPost, bodyPost := do(t, http.MethodPost, ts.URL+"/v1/rtt", `{"load": 0.5}`)
+	if respPost.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d: %s", respPost.StatusCode, bodyPost)
+	}
+	if got := respPost.Header.Get(cacheHeader); got != "hit" {
+		t.Errorf("identical repeat cache header %q", got)
+	}
+	if string(bodyGet) != string(bodyPost) {
+		t.Errorf("GET and POST bodies differ:\n%s\n%s", bodyGet, bodyPost)
+	}
+	var res RTTResult
+	if err := json.Unmarshal(bodyGet, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !(res.QuantileMs > 0) || res.DownlinkLoad != 0.5 {
+		t.Errorf("implausible result: %+v", res)
+	}
+}
+
+func TestRTTEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"unknown JSON key", http.MethodPost, "/v1/rtt", `{"gamer": 80}`, http.StatusBadRequest},
+		{"malformed JSON", http.MethodPost, "/v1/rtt", `{`, http.StatusBadRequest},
+		{"invalid scenario", http.MethodGet, "/v1/rtt?gamers=0", "", http.StatusBadRequest},
+		{"unstable scenario", http.MethodGet, "/v1/rtt?load=1.5", "", http.StatusUnprocessableEntity},
+		{"bad query value", http.MethodGet, "/v1/rtt?t=fast", "", http.StatusBadRequest},
+		{"typoed query key", http.MethodGet, "/v1/rtt?gamer=200", "", http.StatusBadRequest},
+		{"unknown sweep body key", http.MethodPost, "/v1/sweep", `{"scenario": {}, "stepp": 0.01}`, http.StatusBadRequest},
+		{"bound misspelled in body", http.MethodPost, "/v1/dimension", `{"scenario": {}, "bound": 40}`, http.StatusBadRequest},
+		{"unknown batch key", http.MethodPost, "/v1/rtt:batch", `{"scenario": [{}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := do(t, c.method, ts.URL+c.path, c.body)
+			if resp.StatusCode != c.wantStatus {
+				t.Errorf("status %d, want %d: %s", resp.StatusCode, c.wantStatus, body)
+			}
+			var e apiError
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("error body not a JSON envelope: %s", body)
+			}
+		})
+	}
+	resp, _ := do(t, http.MethodDelete, ts.URL+"/v1/rtt", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+	body := `{"scenarios": [{"load": 0.5}, {"k": 0}, {"load": 0.5}]}`
+	resp, data := do(t, http.MethodPost, ts.URL+"/v1/rtt:batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res BatchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("%d results", len(res.Results))
+	}
+	if res.Results[0].Result == nil || res.Results[2].Result == nil {
+		t.Error("valid items failed")
+	}
+	if res.Results[1].Error == "" {
+		t.Error("invalid item did not error")
+	}
+	if res.Cached != 1 {
+		t.Errorf("Cached = %d", res.Cached)
+	}
+
+	for _, bad := range []string{"", `{"scenarios": []}`, `not json`, `{"scenarios": [{"oops": 1}]}`} {
+		resp, _ := do(t, http.MethodPost, ts.URL+"/v1/rtt:batch", bad)
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("batch body %q accepted", bad)
+		}
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+	respQ, bodyQ := do(t, http.MethodGet, ts.URL+"/v1/sweep?ps=125&t=60&from=0.1&to=0.5&step=0.1", "")
+	if respQ.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d: %s", respQ.StatusCode, bodyQ)
+	}
+	respJ, bodyJ := do(t, http.MethodPost, ts.URL+"/v1/sweep",
+		`{"scenario": {"ps": 125, "t": 60}, "from": 0.1, "to": 0.5, "step": 0.1}`)
+	if respJ.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d: %s", respJ.StatusCode, bodyJ)
+	}
+	if string(bodyQ) != string(bodyJ) {
+		t.Errorf("query and JSON sweeps differ:\n%s\n%s", bodyQ, bodyJ)
+	}
+	if got := respJ.Header.Get(cacheHeader); got != "hit" {
+		t.Errorf("repeat sweep cache header %q", got)
+	}
+	var res SweepResult
+	if err := json.Unmarshal(bodyQ, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Errorf("%d points", len(res.Points))
+	}
+	// Defaults: an empty POST body sweeps the default scenario 5%..90%.
+	resp, data := do(t, http.MethodPost, ts.URL+"/v1/sweep", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default sweep status %d: %s", resp.StatusCode, data)
+	}
+	resp, _ = do(t, http.MethodGet, ts.URL+"/v1/sweep?from=0.5&to=0.1", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("inverted range status %d", resp.StatusCode)
+	}
+	// A grid with no stable point is an instability answer, not a server
+	// fault.
+	resp, _ = do(t, http.MethodGet, ts.URL+"/v1/sweep?from=1.0&to=1.2&step=0.05", "")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("all-unstable sweep status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestDimensionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	respQ, bodyQ := do(t, http.MethodGet, ts.URL+"/v1/dimension?ps=125&t=60&k=9&bound=50", "")
+	if respQ.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d: %s", respQ.StatusCode, bodyQ)
+	}
+	respJ, bodyJ := do(t, http.MethodPost, ts.URL+"/v1/dimension",
+		`{"scenario": {"ps": 125, "t": 60, "k": 9}, "bound_ms": 50}`)
+	if respJ.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d: %s", respJ.StatusCode, bodyJ)
+	}
+	if string(bodyQ) != string(bodyJ) {
+		t.Errorf("query and JSON dimension differ:\n%s\n%s", bodyQ, bodyJ)
+	}
+	var res DimensionResult
+	if err := json.Unmarshal(bodyQ, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxGamers < 1 || !(res.RTTAtMaxMs <= res.BoundMs) {
+		t.Errorf("implausible dimensioning: %+v", res)
+	}
+	// The GET spelling "bound_ms" matches the JSON body field and wins
+	// over the short form; both produce the same answer as the POST body.
+	_, bodyMs := do(t, http.MethodGet, ts.URL+"/v1/dimension?ps=125&t=60&k=9&bound_ms=50", "")
+	if string(bodyMs) != string(bodyQ) {
+		t.Errorf("bound_ms= and bound= answers differ:\n%s\n%s", bodyMs, bodyQ)
+	}
+	resp, _ := do(t, http.MethodGet, ts.URL+"/v1/dimension?bound=-1", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative bound status %d", resp.StatusCode)
+	}
+}
+
+func TestModelsHealthzMetrics(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	resp, data := do(t, http.MethodGet, ts.URL+"/v1/models", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("models status %d", resp.StatusCode)
+	}
+	var models struct {
+		Models []modelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(data, &models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) < 3 {
+		t.Errorf("only %d traffic models", len(models.Models))
+	}
+	for _, m := range models.Models {
+		if m.Name == "" || !(m.Server.MeanSizeBytes > 0) {
+			t.Errorf("incomplete model info: %+v", m)
+		}
+	}
+
+	// Generate some traffic, then check it is visible in healthz/metrics.
+	do(t, http.MethodGet, ts.URL+"/v1/rtt?load=0.5", "")
+	do(t, http.MethodGet, ts.URL+"/v1/rtt?load=0.5", "")
+
+	resp, data = do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		CacheHits   uint64 `json:"cache_hits"`
+		CacheMisses uint64 `json:"cache_misses"`
+	}
+	if err := json.Unmarshal(data, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.CacheHits < 1 || health.CacheMisses < 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	resp, data = do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	out := string(data)
+	for _, want := range []string{
+		`fpsping_requests_total{endpoint="/v1/rtt"} 2`,
+		`fpsping_cache_hits_total{endpoint="/v1/rtt"} 1`,
+		`fpsping_requests_total{endpoint="/v1/models"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
