@@ -6,11 +6,12 @@
 // benchmark are aggregated by their minimum: timing noise from the
 // scheduler and GC is strictly additive, so the min of repeated runs is
 // the most stable estimate of the code's true cost at small -benchtime,
-// where benchstat's median still jitters by tens of percent), and either
-// records a baseline or checks fresh output against one:
+// where benchstat's median still jitters by tens of percent), and records
+// a baseline, checks fresh output against one, or compares two outputs:
 //
 //	go test -run '^$' -bench . -benchtime 3x -count 5 ./... | benchgate -update BENCH_baseline.json
 //	go test -run '^$' -bench . -benchtime 3x -count 5 ./... | benchgate -check  BENCH_baseline.json
+//	go test ... -bench . | benchgate -compare base-bench.txt
 //
 // In -check mode any benchmark whose min ns/op exceeds baseline by more
 // than -threshold (default 20%) is a regression: benchgate prints a GitHub
@@ -19,6 +20,13 @@
 // fail the gate, so adding or retiring benchmarks doesn't break CI; neither
 // do benchmarks whose baseline is under -min-ns (default 50 µs), where a
 // 3-iteration sample measures scheduler and timer noise, not the code.
+//
+// -compare applies the same gate against another run's raw `go test -bench`
+// output instead of a committed JSON baseline. This is the machine-
+// independent paired mode CI uses: build and run both the merge-base and
+// the head on the same runner in the same job, then compare — absolute
+// ns/op never leaves the machine it was measured on, so a committed
+// baseline from faster hardware cannot fail an innocent PR.
 package main
 
 import (
@@ -105,6 +113,7 @@ func run() error {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
 	update := fs.String("update", "", "write a new baseline JSON to this path and exit")
 	check := fs.String("check", "", "compare input against this baseline JSON")
+	compare := fs.String("compare", "", "compare input against this raw `go test -bench` output (paired-run mode)")
 	in := fs.String("in", "-", "benchmark output to read ('-' = stdin)")
 	threshold := fs.Float64("threshold", 0.20, "relative slowdown that counts as a regression (0.20 = +20%)")
 	minNs := fs.Float64("min-ns", 50_000, "baseline ns/op below which a benchmark is informational only (at -benchtime 3x an op this cheap measures scheduler noise, not code)")
@@ -113,8 +122,14 @@ func run() error {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
-	if (*update == "") == (*check == "") {
-		return fmt.Errorf("benchgate: exactly one of -update or -check is required")
+	modes := 0
+	for _, m := range []string{*update, *check, *compare} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("benchgate: exactly one of -update, -check or -compare is required")
 	}
 
 	input := os.Stdin
@@ -144,16 +159,29 @@ func run() error {
 		return nil
 	}
 
-	data, err := os.ReadFile(*check)
-	if err != nil {
-		return err
-	}
 	var base Baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("benchgate: baseline %s: %w", *check, err)
-	}
-	if len(base.NsPerOp) == 0 {
-		return fmt.Errorf("benchgate: baseline %s holds no benchmarks", *check)
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		baseSamples, err := parse(f)
+		if err != nil {
+			return fmt.Errorf("benchgate: baseline run %s: %w", *compare, err)
+		}
+		base = Baseline{NsPerOp: centers(baseSamples)}
+	} else {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("benchgate: baseline %s: %w", *check, err)
+		}
+		if len(base.NsPerOp) == 0 {
+			return fmt.Errorf("benchgate: baseline %s holds no benchmarks", *check)
+		}
 	}
 
 	regressions := 0

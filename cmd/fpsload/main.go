@@ -1,0 +1,125 @@
+// Command fpsload is the closed-loop load generator for fpspingd: the tool
+// that answers the dimensioning question for our own service. N concurrent
+// workers draw operations from a seeded scenario mix and drive every daemon
+// endpoint, then print achieved RPS, error counts, latency quantiles and
+// the cache hit ratio of the measured phase.
+//
+//	fpspingd -addr 127.0.0.1:7900 &
+//	fpsload -addr http://127.0.0.1:7900 -mix hot  -jobs 8 -duration 10s
+//	fpsload -addr http://127.0.0.1:7900 -mix zipf -jobs 16 -count 5000
+//	fpsload -addr http://127.0.0.1:7900 -mix cold -endpoints rtt=1 -duration 5s
+//
+// Mixes: "hot" draws uniformly from a small seeded pool (all cache hits
+// after warmup), "zipf" draws rank-skewed from the pool (realistic
+// popularity), "cold" draws a fresh scenario per request (no hits, raw
+// compute throughput). The i-th operation is a pure function of (seed, i),
+// so the issued request multiset is identical at any -jobs value; the
+// report's fingerprint makes that checkable.
+//
+// CI gating: -max-errors and -hit-floor turn the report into an exit code,
+// and -json writes the machine-readable artifact.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpsping/internal/client"
+	"fpsping/internal/load"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fpsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fpsload", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7900", "daemon base URL")
+	jobs := fs.Int("jobs", 8, "concurrent closed-loop workers")
+	seed := fs.Uint64("seed", 1, "scenario stream seed (same seed = same request multiset at any -jobs)")
+	mix := fs.String("mix", "hot", "scenario mix: hot, zipf or cold")
+	pool := fs.Int("pool", 16, "distinct scenarios behind the hot and zipf mixes")
+	zipfSkew := fs.Float64("zipf-s", 1.1, "zipf exponent for -mix zipf")
+	batch := fs.Int("batch", 8, "scenarios per rtt:batch operation")
+	endpoints := fs.String("endpoints", "", `endpoint mix weights, e.g. "rtt=16,batch=2,sweep=1,dimension=1,models=1" (default exactly that)`)
+	warmup := fs.Int("warmup", 1, "deterministic warmup passes over the mix's key space before measuring (-1 = none)")
+	count := fs.Int("count", 0, "run exactly this many measured operations (0 = use -duration)")
+	duration := fs.Duration("duration", 10*time.Second, "measured run length when -count is 0")
+	timeout := fs.Duration("timeout", client.DefaultTimeout, "per-request timeout")
+	wait := fs.Duration("wait", 0, "poll the daemon's /healthz up to this long before starting (0 = fail fast)")
+	jsonPath := fs.String("json", "", "also write the report as JSON to this path")
+	maxErrors := fs.Int("max-errors", -1, "exit 1 when warmup+measured errors exceed this (-1 = no gate)")
+	hitFloor := fs.Float64("hit-floor", -1, "exit 1 when the measured cache hit ratio is below this (-1 = no gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cli, err := client.New(*addr, client.WithTimeout(*timeout))
+	if err != nil {
+		return err
+	}
+	if *wait > 0 {
+		if err := cli.WaitReady(ctx, *wait); err != nil {
+			return err
+		}
+	}
+	weights := load.DefaultWeights()
+	if *endpoints != "" {
+		if weights, err = load.ParseWeights(*endpoints); err != nil {
+			return err
+		}
+	}
+
+	rep, err := load.Run(ctx, load.Config{
+		Client:         cli,
+		Jobs:           *jobs,
+		Seed:           *seed,
+		Mix:            load.Mix(*mix),
+		PoolSize:       *pool,
+		ZipfSkew:       *zipfSkew,
+		BatchSize:      *batch,
+		Weights:        weights,
+		WarmupPasses:   *warmup,
+		Count:          *count,
+		Duration:       *duration,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Text())
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *maxErrors >= 0 && rep.TotalErrors() > *maxErrors {
+		return fmt.Errorf("%d errors exceed the -max-errors %d gate", rep.TotalErrors(), *maxErrors)
+	}
+	if *hitFloor >= 0 {
+		if !rep.Cache.Valid {
+			return fmt.Errorf("-hit-floor %g set but no model-endpoint traffic was measured", *hitFloor)
+		}
+		if rep.Cache.HitRatio < *hitFloor {
+			return fmt.Errorf("cache hit ratio %.3f below the -hit-floor %g gate", rep.Cache.HitRatio, *hitFloor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// ModelEndpoints are the daemon endpoints whose answers the engine cache
+// can serve — the denominator of every cache-hit-ratio computation.
+// (/v1/models is static and /healthz and /metrics are uninstrumented, so
+// none of them belong here.)
+var ModelEndpoints = []string{"/v1/rtt", "/v1/rtt:batch", "/v1/sweep", "/v1/dimension"}
+
+// EndpointMetrics is one endpoint's slice of a /metrics scrape.
+type EndpointMetrics struct {
+	Requests  uint64
+	Errors    uint64
+	CacheHits uint64
+	// LatencySumSeconds and LatencyCount reproduce the Prometheus
+	// summary pair; Quantiles maps the exported level ("0.5", "0.9",
+	// "0.99") to its latency estimate in seconds.
+	LatencySumSeconds float64
+	LatencyCount      uint64
+	Quantiles         map[string]float64
+}
+
+// MetricsSnapshot is one parsed /metrics scrape. Two snapshots bracket a
+// run: their difference is what the run did (see CacheHitRatioDelta).
+type MetricsSnapshot struct {
+	UptimeSeconds float64
+	Endpoints     map[string]EndpointMetrics
+}
+
+// metricLine matches one sample line: name, optional {labels}, value.
+var metricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)$`)
+
+// labelPair matches one key="value" inside a label set.
+var labelPair = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"`)
+
+// ParseMetrics parses the daemon's Prometheus text exposition. Unknown
+// metric families are ignored, so the parser survives the daemon growing
+// new gauges.
+func ParseMetrics(data []byte) (MetricsSnapshot, error) {
+	snap := MetricsSnapshot{Endpoints: make(map[string]EndpointMetrics)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		m := metricLine.FindSubmatch(line)
+		if m == nil {
+			return snap, fmt.Errorf("client: unparsable metrics line %q", line)
+		}
+		name, rawLabels, rawValue := string(m[1]), m[2], string(m[3])
+		value, err := strconv.ParseFloat(rawValue, 64)
+		if err != nil {
+			return snap, fmt.Errorf("client: metric %s value %q: %w", name, rawValue, err)
+		}
+		labels := make(map[string]string)
+		for _, kv := range labelPair.FindAllSubmatch(rawLabels, -1) {
+			labels[string(kv[1])] = string(kv[2])
+		}
+		if name == "fpsping_uptime_seconds" {
+			snap.UptimeSeconds = value
+			continue
+		}
+		endpoint := labels["endpoint"]
+		if endpoint == "" {
+			continue
+		}
+		es := snap.Endpoints[endpoint]
+		switch name {
+		case "fpsping_requests_total":
+			es.Requests = uint64(value)
+		case "fpsping_request_errors_total":
+			es.Errors = uint64(value)
+		case "fpsping_cache_hits_total":
+			es.CacheHits = uint64(value)
+		case "fpsping_request_latency_seconds_sum":
+			es.LatencySumSeconds = value
+		case "fpsping_request_latency_seconds_count":
+			es.LatencyCount = uint64(value)
+		case "fpsping_request_latency_seconds":
+			if es.Quantiles == nil {
+				es.Quantiles = make(map[string]float64)
+			}
+			es.Quantiles[labels["quantile"]] = value
+		}
+		snap.Endpoints[endpoint] = es
+	}
+	if err := sc.Err(); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// Totals sums requests, errors and cache hits over the named endpoints
+// (ModelEndpoints when none are given).
+func (s MetricsSnapshot) Totals(endpoints ...string) (requests, errors, hits uint64) {
+	if len(endpoints) == 0 {
+		endpoints = ModelEndpoints
+	}
+	for _, ep := range endpoints {
+		es := s.Endpoints[ep]
+		requests += es.Requests
+		errors += es.Errors
+		hits += es.CacheHits
+	}
+	return requests, errors, hits
+}
+
+// CacheHitRatio returns cumulative hits/requests over the named endpoints
+// (ModelEndpoints when none are given); ok is false when nothing was
+// requested yet.
+func (s MetricsSnapshot) CacheHitRatio(endpoints ...string) (ratio float64, ok bool) {
+	requests, _, hits := s.Totals(endpoints...)
+	if requests == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(requests), true
+}
+
+// CacheHitRatioDelta returns the cache hit ratio of only the requests made
+// between two snapshots — the marginal ratio a load phase achieved,
+// regardless of what warmed the cache before it. ok is false when no
+// requests landed in between.
+func CacheHitRatioDelta(before, after MetricsSnapshot, endpoints ...string) (ratio float64, ok bool) {
+	reqB, _, hitB := before.Totals(endpoints...)
+	reqA, _, hitA := after.Totals(endpoints...)
+	if reqA <= reqB {
+		return 0, false
+	}
+	return float64(hitA-hitB) / float64(reqA-reqB), true
+}

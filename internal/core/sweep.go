@@ -42,14 +42,17 @@ func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
 	return out, nil
 }
 
-// SweepLoadsParallel evaluates the same curve as SweepLoads with the per-load
-// RTTQuantile calls (independent of each other) fanned out over a worker
-// pool. The serial semantics are reproduced exactly by an ordered post-scan
-// of the full result grid: the curve still ends at the first unstable load
+// SweepGridWith evaluates the curve with a caller-supplied point evaluator
+// fanned out over a worker pool — the one owner of the serial sweep
+// semantics every front end shares (SweepLoadsParallel plugs in a direct
+// RTTQuantile evaluation; the daemon's /v1/sweep plugs in its memoized
+// one). The serial semantics are reproduced exactly by an ordered post-scan
+// of the full result grid: the curve ends at the first failing evaluation
 // (the vertical asymptote), an invalid load is only an error if it sits
-// before that point, and the returned points are byte-identical to
-// SweepLoads' at any worker count.
-func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, error) {
+// before that point, and the returned points are byte-identical at any
+// worker count.
+func (m Model) SweepGridWith(loads []float64, workers int,
+	point func(rho float64) (SweepPoint, error)) ([]SweepPoint, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("%w: empty load list", ErrBadModel)
 	}
@@ -63,12 +66,11 @@ func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, e
 			if !(rho > 0) {
 				return cell{bad: fmt.Errorf("%w: load %g", ErrBadModel, rho)}, nil
 			}
-			at := m.WithDownlinkLoad(rho)
-			rtt, err := at.RTTQuantile()
+			pt, err := point(rho)
 			if err != nil {
 				return cell{}, err // unstable point (serial: break)
 			}
-			return cell{pt: SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt}}, nil
+			return cell{pt: pt}, nil
 		})
 	out := make([]SweepPoint, 0, len(loads))
 	for i := range cells {
@@ -85,6 +87,20 @@ func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, e
 		return nil, fmt.Errorf("core: no stable points in sweep of %s: %w", m, ErrUnstable)
 	}
 	return out, nil
+}
+
+// SweepLoadsParallel evaluates the same curve as SweepLoads with the
+// per-load RTTQuantile calls (independent of each other) fanned out over a
+// worker pool, byte-identical to SweepLoads' points at any worker count.
+func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, error) {
+	return m.SweepGridWith(loads, workers, func(rho float64) (SweepPoint, error) {
+		at := m.WithDownlinkLoad(rho)
+		rtt, err := at.RTTQuantile()
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt}, nil
+	})
 }
 
 // LoadGrid returns the closed load range [from, to] in step increments

@@ -1,0 +1,366 @@
+// Package load is fpsping's closed-loop load generator: the tool that turns
+// "production-scale daemon" into numbers. N concurrent workers draw
+// operations from a seeded generator — a repeated-hot pool, a zipf-skewed
+// pool, or unique-cold scenarios — and drive every fpspingd endpoint through
+// internal/client, measuring achieved throughput, error counts, latency
+// quantiles (Welford + P² from internal/stats) and the daemon's cache hit
+// ratio over the run (from /metrics snapshots).
+//
+// Determinism contract: the i-th operation is a pure function of (config,
+// i) — each index derives its own RNG stream — so the multiset of issued
+// requests is identical at any worker count; only the interleaving (and the
+// measured latencies) differ. Report.Fingerprint is an order-independent
+// hash of the executed operations that makes this checkable end to end.
+package load
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fpsping/internal/dist"
+	"fpsping/internal/scenario"
+)
+
+// Mix names a scenario-drawing strategy.
+type Mix string
+
+const (
+	// MixHot draws uniformly from a small pool: after one warmup pass every
+	// request is answerable from the daemon's cache. This is the cache's
+	// best case and the mix CI regresses the hit-ratio floor against.
+	MixHot Mix = "hot"
+	// MixZipf draws rank-skewed from a pool (popularity follows a zipf law,
+	// the standard model for game-server and CDN request popularity): hot
+	// head, long tail, a realistic cache workload.
+	MixZipf Mix = "zipf"
+	// MixCold draws a fresh scenario for every request: the cache's worst
+	// case, measuring raw compute throughput.
+	MixCold Mix = "cold"
+)
+
+// OpKind is one daemon endpoint a generated operation targets.
+type OpKind int
+
+const (
+	OpRTT OpKind = iota
+	OpBatch
+	OpSweep
+	OpDimension
+	OpModels
+	numOpKinds
+)
+
+var opKindNames = [numOpKinds]string{"rtt", "batch", "sweep", "dimension", "models"}
+
+// String returns the short endpoint name ("rtt", "batch", ...).
+func (k OpKind) String() string {
+	if k < 0 || k >= numOpKinds {
+		return fmt.Sprintf("opkind(%d)", int(k))
+	}
+	return opKindNames[k]
+}
+
+// Weights sets the relative frequency of each endpoint in the generated
+// stream; a zero weight removes the endpoint. Only ratios matter.
+type Weights struct {
+	RTT       float64 `json:"rtt"`
+	Batch     float64 `json:"batch"`
+	Sweep     float64 `json:"sweep"`
+	Dimension float64 `json:"dimension"`
+	Models    float64 `json:"models"`
+}
+
+// DefaultWeights is an rtt-heavy mix with every endpoint represented, the
+// shape of a dimensioning dashboard's traffic.
+func DefaultWeights() Weights {
+	return Weights{RTT: 16, Batch: 2, Sweep: 1, Dimension: 1, Models: 1}
+}
+
+// kind returns weight by OpKind.
+func (w Weights) kind(k OpKind) float64 {
+	switch k {
+	case OpRTT:
+		return w.RTT
+	case OpBatch:
+		return w.Batch
+	case OpSweep:
+		return w.Sweep
+	case OpDimension:
+		return w.Dimension
+	case OpModels:
+		return w.Models
+	}
+	return 0
+}
+
+// total sums all weights.
+func (w Weights) total() float64 {
+	return w.RTT + w.Batch + w.Sweep + w.Dimension + w.Models
+}
+
+// validate rejects negative or non-finite weights and an all-zero mix.
+func (w Weights) validate() error {
+	for k := OpKind(0); k < numOpKinds; k++ {
+		v := w.kind(k)
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("load: weight %s=%g out of range", k, v)
+		}
+	}
+	if w.total() <= 0 {
+		return fmt.Errorf("load: all endpoint weights are zero")
+	}
+	return nil
+}
+
+// ParseWeights parses "rtt=16,batch=2,sweep=1" (unnamed endpoints get
+// weight 0).
+func ParseWeights(s string) (Weights, error) {
+	var w Weights
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return w, fmt.Errorf("load: weight %q is not name=value", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+		if err != nil {
+			return w, fmt.Errorf("load: weight %q: %w", part, err)
+		}
+		switch strings.TrimSpace(name) {
+		case "rtt":
+			w.RTT = v
+		case "batch":
+			w.Batch = v
+		case "sweep":
+			w.Sweep = v
+		case "dimension":
+			w.Dimension = v
+		case "models":
+			w.Models = v
+		default:
+			return w, fmt.Errorf("load: unknown endpoint %q in weights", name)
+		}
+	}
+	return w, w.validate()
+}
+
+// Sweep and dimension operations use fixed parameters so one operation
+// costs the same whatever scenario it draws: a short stable load range and
+// the paper's 50 ms dimensioning bound.
+const (
+	sweepFrom        = 0.2
+	sweepTo          = 0.6
+	sweepStep        = 0.1
+	dimensionBoundMs = 50
+)
+
+// Op is one generated operation. Exactly the fields its Kind needs are set:
+// one scenario for rtt/sweep/dimension, BatchSize scenarios for batch, none
+// for models.
+type Op struct {
+	Kind      OpKind
+	Scenarios []scenario.Scenario
+	From      float64
+	To        float64
+	Step      float64
+	BoundMs   float64
+}
+
+// hash is the op's order-independent fingerprint contribution: kind,
+// canonical scenario keys (resolving equivalent spellings exactly like the
+// daemon's cache) and parameters.
+func (o Op) hash() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, o.Kind.String())
+	for _, sc := range o.Scenarios {
+		io.WriteString(h, "|")
+		io.WriteString(h, sc.Canonical())
+	}
+	fmt.Fprintf(h, "|%x|%x|%x|%x",
+		math.Float64bits(o.From), math.Float64bits(o.To),
+		math.Float64bits(o.Step), math.Float64bits(o.BoundMs))
+	return h.Sum64()
+}
+
+// GeneratorConfig parameterizes a Generator.
+type GeneratorConfig struct {
+	Seed uint64
+	Mix  Mix
+	// PoolSize is the number of distinct scenarios behind the hot and zipf
+	// mixes (<= 0 means 16).
+	PoolSize int
+	// ZipfSkew is the zipf exponent s in weight ∝ 1/rank^s (<= 0 means 1.1).
+	ZipfSkew float64
+	// BatchSize is the number of scenarios per batch op (<= 0 means 8).
+	BatchSize int
+	// Weights is the endpoint mix (zero value means DefaultWeights).
+	Weights Weights
+}
+
+// Generator derives operations deterministically: Op(i) is a pure function
+// of the config and i, safe for concurrent use.
+type Generator struct {
+	cfg     GeneratorConfig
+	pool    []scenario.Scenario
+	zipfCum []float64 // cumulative zipf mass over pool ranks, normalized
+}
+
+// Stream tags decorrelate the generator's RNG uses: pool construction and
+// per-op draws never share a stream.
+const (
+	streamPool = 0x9001
+	streamOp   = 0x0b5
+)
+
+// NewGenerator validates the config and builds the (seed-deterministic)
+// scenario pool.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	switch cfg.Mix {
+	case MixHot, MixZipf, MixCold:
+	default:
+		return nil, fmt.Errorf("load: unknown mix %q (want hot, zipf or cold)", cfg.Mix)
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 16
+	}
+	if cfg.ZipfSkew <= 0 {
+		cfg.ZipfSkew = 1.1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Weights == (Weights{}) {
+		cfg.Weights = DefaultWeights()
+	}
+	if err := cfg.Weights.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg}
+	r := dist.NewRNG(cfg.Seed, streamPool)
+	ticks := []float64{30, 40, 50, 60}
+	g.pool = make([]scenario.Scenario, cfg.PoolSize)
+	for i := range g.pool {
+		sc := scenario.Default()
+		// Stable by construction: loads stay well below the asymptote and
+		// under the sweep range's ceiling.
+		sc.Load = 0.10 + 0.75*r.Float64()
+		sc.ServerPacketBytes = float64(100 + r.IntN(150))
+		sc.BurstIntervalMs = ticks[r.IntN(len(ticks))]
+		sc.ErlangOrder = 2 + r.IntN(10)
+		g.pool[i] = sc
+	}
+	if cfg.Mix == MixZipf {
+		g.zipfCum = make([]float64, len(g.pool))
+		sum := 0.0
+		for i := range g.zipfCum {
+			sum += math.Pow(float64(i+1), -cfg.ZipfSkew)
+			g.zipfCum[i] = sum
+		}
+		for i := range g.zipfCum {
+			g.zipfCum[i] /= sum
+		}
+	}
+	return g, nil
+}
+
+// Pool returns the generator's scenario pool (nil-safe copy for tests and
+// reports).
+func (g *Generator) Pool() []scenario.Scenario {
+	out := make([]scenario.Scenario, len(g.pool))
+	copy(out, g.pool)
+	return out
+}
+
+// pickKind maps one uniform draw to an endpoint by cumulative weight.
+func (g *Generator) pickKind(u float64) OpKind {
+	x := u * g.cfg.Weights.total()
+	acc := 0.0
+	for k := OpKind(0); k < numOpKinds; k++ {
+		acc += g.cfg.Weights.kind(k)
+		if x < acc {
+			return k
+		}
+	}
+	return OpRTT // u == 1 boundary; unreachable for u in [0,1)
+}
+
+// draw returns the next scenario for one op's RNG stream.
+func (g *Generator) draw(r *rand.Rand) scenario.Scenario {
+	switch g.cfg.Mix {
+	case MixHot:
+		return g.pool[r.IntN(len(g.pool))]
+	case MixZipf:
+		u := r.Float64()
+		i := sort.SearchFloat64s(g.zipfCum, u)
+		if i >= len(g.pool) {
+			i = len(g.pool) - 1
+		}
+		return g.pool[i]
+	default: // MixCold: a fresh scenario per draw, unique w.h.p.
+		sc := scenario.Default()
+		sc.Load = 0.10 + 0.80*r.Float64()
+		return sc
+	}
+}
+
+// Op returns the i-th operation of the stream. Each index gets its own
+// decorrelated RNG (dist.SplitSeed-style), so the mapping is independent of
+// which worker executes it and in what order.
+func (g *Generator) Op(i int) Op {
+	r := dist.NewRNG(g.cfg.Seed, streamOp, uint64(i))
+	switch g.pickKind(r.Float64()) {
+	case OpModels:
+		return Op{Kind: OpModels}
+	case OpBatch:
+		scs := make([]scenario.Scenario, g.cfg.BatchSize)
+		for j := range scs {
+			scs[j] = g.draw(r)
+		}
+		return Op{Kind: OpBatch, Scenarios: scs}
+	case OpSweep:
+		return Op{Kind: OpSweep, Scenarios: []scenario.Scenario{g.draw(r)},
+			From: sweepFrom, To: sweepTo, Step: sweepStep}
+	case OpDimension:
+		return Op{Kind: OpDimension, Scenarios: []scenario.Scenario{g.draw(r)},
+			BoundMs: dimensionBoundMs}
+	default:
+		return Op{Kind: OpRTT, Scenarios: []scenario.Scenario{g.draw(r)}}
+	}
+}
+
+// WarmupOps returns one deterministic pass over every distinct request the
+// mix can produce, so a warmed cache answers every subsequent pool-backed
+// op (hot, zipf) without recomputation: an RTT per pool scenario (which
+// also answers batch items), plus the fixed sweep and dimension questions
+// for endpoints present in the mix. The cold mix has nothing to warm.
+func (g *Generator) WarmupOps() []Op {
+	var ops []Op
+	if g.cfg.Mix != MixCold {
+		for _, sc := range g.pool {
+			if g.cfg.Weights.RTT > 0 || g.cfg.Weights.Batch > 0 {
+				ops = append(ops, Op{Kind: OpRTT, Scenarios: []scenario.Scenario{sc}})
+			}
+			if g.cfg.Weights.Sweep > 0 {
+				ops = append(ops, Op{Kind: OpSweep, Scenarios: []scenario.Scenario{sc},
+					From: sweepFrom, To: sweepTo, Step: sweepStep})
+			}
+			if g.cfg.Weights.Dimension > 0 {
+				ops = append(ops, Op{Kind: OpDimension, Scenarios: []scenario.Scenario{sc},
+					BoundMs: dimensionBoundMs})
+			}
+		}
+	}
+	if g.cfg.Weights.Models > 0 {
+		ops = append(ops, Op{Kind: OpModels})
+	}
+	return ops
+}

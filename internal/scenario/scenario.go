@@ -211,12 +211,23 @@ func (s Scenario) Model() core.Model {
 }
 
 // Validate checks the scenario by resolving and validating the model it
-// denotes (plus the Load shorthand's own range).
+// denotes, plus what the model's own checks cannot see: the Load shorthand's
+// range and float finiteness (NaN slips through ordered comparisons, and a
+// NaN parameter would later make the JSON encoder fail on the response).
 func (s Scenario) Validate() error {
-	if s.Load < 0 {
-		return fmt.Errorf("scenario: negative load %g", s.Load)
+	for _, f := range (&s).fields() {
+		if f.flt != nil && (math.IsNaN(*f.flt) || math.IsInf(*f.flt, 0)) {
+			return fmt.Errorf("%w: parameter %q is not finite (%g)", core.ErrBadModel, f.name, *f.flt)
+		}
 	}
-	return s.Model().Validate()
+	if s.Load < 0 {
+		return fmt.Errorf("%w: negative load %g", core.ErrBadModel, s.Load)
+	}
+	m := s.Model()
+	if math.IsNaN(m.Gamers) || math.IsInf(m.Gamers, 0) {
+		return fmt.Errorf("%w: load %g resolves to a non-finite gamer count", core.ErrBadModel, s.Load)
+	}
+	return m.Validate()
 }
 
 // Canonical returns a cache key identifying the resolved model: scenarios

@@ -83,7 +83,7 @@ func TestE2EDaemon(t *testing.T) {
 	if respCold.StatusCode != http.StatusOK {
 		t.Fatalf("cold status %d: %s", respCold.StatusCode, bodyCold)
 	}
-	if h := respCold.Header.Get(cacheHeader); h != "miss" {
+	if h := respCold.Header.Get(CacheHeader); h != "miss" {
 		t.Fatalf("cold cache header %q", h)
 	}
 	warm := cold
@@ -93,7 +93,7 @@ func TestE2EDaemon(t *testing.T) {
 		if d := time.Since(start); d < warm {
 			warm = d
 		}
-		if h := respWarm.Header.Get(cacheHeader); h != "hit" {
+		if h := respWarm.Header.Get(CacheHeader); h != "hit" {
 			t.Fatalf("repeat %d cache header %q", i, h)
 		}
 		if string(bodyWarm) != string(bodyCold) {

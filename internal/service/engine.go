@@ -12,7 +12,9 @@
 package service
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"fpsping/internal/core"
 	"fpsping/internal/runner"
@@ -25,13 +27,19 @@ import (
 // session touches.
 const DefaultCacheSize = 4096
 
-// Engine evaluates scenarios concurrently with memoization. All methods are
-// safe for concurrent use; results handed out on cache hits are shared, so
-// callers must treat them as immutable.
+// Engine evaluates scenarios concurrently with memoization and singleflight
+// miss coalescing: concurrent identical cache misses compute once and share
+// the result. All methods are safe for concurrent use; results handed out on
+// cache hits are shared, so callers must treat them as immutable.
 type Engine struct {
 	jobs    int
 	cache   *lruCache
+	flight  *flight
 	metrics *Metrics
+	// computes counts core model evaluations actually run (one per cold RTT,
+	// one per cold sweep point, one per cold dimensioning): the observable
+	// proof that the cache and singleflight are doing their jobs.
+	computes atomic.Uint64
 }
 
 // NewEngine returns an engine fanning batch work over at most jobs workers
@@ -44,7 +52,7 @@ func NewEngine(jobs, cacheSize int) *Engine {
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
 	}
-	return &Engine{jobs: jobs, cache: newLRU(cacheSize), metrics: NewMetrics()}
+	return &Engine{jobs: jobs, cache: newLRU(cacheSize), flight: newFlight(), metrics: NewMetrics()}
 }
 
 // Jobs returns the engine's worker budget.
@@ -60,6 +68,11 @@ func (e *Engine) CacheStats() (entries int, hits, misses uint64) {
 	hits, misses = e.cache.Stats()
 	return e.cache.Len(), hits, misses
 }
+
+// Computes returns the cumulative number of core model evaluations the
+// engine has actually run. Under singleflight, K concurrent identical cold
+// requests move this by exactly one.
+func (e *Engine) Computes() uint64 { return e.computes.Load() }
 
 // ComponentsMs is the RTT decomposition in milliseconds, each stochastic
 // part reported at the scenario's quantile level in isolation (the quantile
@@ -90,30 +103,42 @@ type RTTResult struct {
 }
 
 // RTT evaluates one scenario's RTT quantile, decomposition and mean,
-// memoized on the canonical scenario key. The bool reports whether the
-// answer came from the cache.
+// memoized on the canonical scenario key with singleflight coalescing: K
+// concurrent identical cold requests run one computation and share it. The
+// bool reports whether the answer arrived without computing (a cache hit or
+// a joined in-flight computation).
 func (e *Engine) RTT(sc scenario.Scenario) (RTTResult, bool, error) {
 	if err := sc.Validate(); err != nil {
 		return RTTResult{}, false, err
 	}
-	key := "rtt|" + sc.Canonical()
-	if v, ok := e.cache.Get(key); ok {
-		out := v.(RTTResult)
-		// Echo this request's spelling: equivalent scenarios (load vs
-		// gamers, explicit defaults) share a cache slot but keep their own
-		// echo, so a hit is byte-identical to what a cold evaluation of the
-		// same request would return.
-		out.Scenario = sc
-		return out, true, nil
+	key := sc.Canonical()
+	v, shared, err := e.memo("rtt|"+key, func() (any, error) { return e.computeRTT(sc, key) })
+	if err != nil {
+		return RTTResult{}, false, err
 	}
+	out := v.(RTTResult)
+	// Echo this request's spelling: equivalent scenarios (load vs gamers,
+	// explicit defaults) share a cache slot but keep their own echo, so a
+	// hit is byte-identical to what a cold evaluation of the same request
+	// would return.
+	out.Scenario = sc
+	return out, shared, nil
+}
+
+// computeRTT is the cold path behind RTT. Besides the full result it stores
+// the scenario's sweep-point slice (quantile + gamers, bit-exact in seconds)
+// under the shared "pt|" key space, so a later /v1/sweep whose grid crosses
+// this scenario reuses the evaluation instead of recomputing it.
+func (e *Engine) computeRTT(sc scenario.Scenario, key string) (RTTResult, error) {
+	e.computes.Add(1)
 	m := sc.Model()
 	comp, err := m.Decompose()
 	if err != nil {
-		return RTTResult{}, false, err
+		return RTTResult{}, err
 	}
 	mean, err := m.MeanRTT()
 	if err != nil {
-		return RTTResult{}, false, err
+		return RTTResult{}, err
 	}
 	level := sc.Quantile
 	if level == 0 {
@@ -135,8 +160,8 @@ func (e *Engine) RTT(sc scenario.Scenario) (RTTResult, bool, error) {
 			Position:      1000 * comp.Position,
 		},
 	}
-	e.cache.Put(key, out)
-	return out, false, nil
+	e.cache.Put("pt|"+key, pointMemo{Gamers: m.Gamers, RTT: comp.Total})
+	return out, nil
 }
 
 // SweepPoint is one point of an RTT-versus-load curve.
@@ -156,9 +181,13 @@ type SweepResult struct {
 }
 
 // Sweep evaluates the RTT-vs-load curve over [from, to] in step increments,
-// parallelized over the engine's worker budget and memoized on the grid as
-// a whole. The curve stops at the first unstable load (the asymptote),
-// exactly like core.SweepLoads.
+// parallelized over the engine's worker budget and memoized at two levels:
+// the grid as a whole (a repeated identical sweep is one lookup) and each
+// grid point in the per-scenario RTT memo shared with /v1/rtt, so
+// overlapping grids — and sweeps crossing scenarios /v1/rtt already
+// answered — reuse point evaluations instead of recomputing them. The curve
+// stops at the first unstable load (the asymptote), exactly like
+// core.SweepLoads.
 func (e *Engine) Sweep(sc scenario.Scenario, from, to, step float64) (SweepResult, bool, error) {
 	if !(step > 0) || !(from > 0) || to < from {
 		return SweepResult{}, false, fmt.Errorf("%w: bad sweep range [%g, %g] step %g",
@@ -168,22 +197,75 @@ func (e *Engine) Sweep(sc scenario.Scenario, from, to, step float64) (SweepResul
 		return SweepResult{}, false, err
 	}
 	key := fmt.Sprintf("sweep|%s|%g|%g|%g", sc.Canonical(), from, to, step)
-	if v, ok := e.cache.Get(key); ok {
-		out := v.(SweepResult)
-		out.Scenario = sc
-		return out, true, nil
-	}
-	pts, err := sc.Model().SweepLoadsParallel(core.LoadGrid(from, to, step), e.jobs)
+	v, shared, err := e.memo(key, func() (any, error) { return e.computeSweep(sc, from, to, step) })
 	if err != nil {
 		return SweepResult{}, false, err
+	}
+	out := v.(SweepResult)
+	out.Scenario = sc
+	return out, shared, nil
+}
+
+// pointMemo is one sweep point's share of an RTT answer, keyed "pt|" +
+// canonical scenario: written by both computeRTT and point, read by sweep
+// grids. RTT is kept in seconds (not the wire milliseconds) so a memoized
+// point is bit-identical to a recomputed one. An unstable scenario is a
+// cacheable answer too: every grid crossing it stops there.
+type pointMemo struct {
+	Gamers   float64
+	RTT      float64
+	Unstable bool
+}
+
+// point answers one sweep point through the shared per-scenario memo,
+// computing (and storing) it only when neither a previous sweep nor a
+// /v1/rtt evaluation has seen the scenario.
+func (e *Engine) point(psc scenario.Scenario) (pointMemo, error) {
+	v, _, err := e.memo("pt|"+psc.Canonical(), func() (any, error) {
+		e.computes.Add(1)
+		at := psc.Model()
+		rtt, err := at.RTTQuantile()
+		if err != nil {
+			if errors.Is(err, core.ErrUnstable) {
+				return pointMemo{Unstable: true}, nil
+			}
+			return nil, err
+		}
+		return pointMemo{Gamers: at.Gamers, RTT: rtt}, nil
+	})
+	if err != nil {
+		return pointMemo{}, err
+	}
+	return v.(pointMemo), nil
+}
+
+// computeSweep assembles a cold sweep from per-point memo entries through
+// core.SweepGridWith, which owns the serial semantics (error on an invalid
+// load before the asymptote, stop at the first unstable point) for the CLI
+// and the daemon alike.
+func (e *Engine) computeSweep(sc scenario.Scenario, from, to, step float64) (SweepResult, error) {
+	pts, err := sc.Model().SweepGridWith(core.LoadGrid(from, to, step), e.jobs,
+		func(rho float64) (core.SweepPoint, error) {
+			psc := sc
+			psc.Load = rho
+			pm, err := e.point(psc)
+			if err != nil {
+				return core.SweepPoint{}, err
+			}
+			if pm.Unstable {
+				return core.SweepPoint{}, core.ErrUnstable
+			}
+			return core.SweepPoint{Load: rho, Gamers: pm.Gamers, RTT: pm.RTT}, nil
+		})
+	if err != nil {
+		return SweepResult{}, err
 	}
 	out := SweepResult{Scenario: sc, From: from, To: to, Step: step,
 		Points: make([]SweepPoint, len(pts))}
 	for i, p := range pts {
 		out.Points[i] = SweepPoint{Load: p.Load, Gamers: p.Gamers, RTTMs: 1000 * p.RTT}
 	}
-	e.cache.Put(key, out)
-	return out, false, nil
+	return out, nil
 }
 
 // DimensionResult answers one /v1/dimension query: the §4 dimensioning rule
@@ -205,24 +287,26 @@ func (e *Engine) Dimension(sc scenario.Scenario, boundMs float64) (DimensionResu
 		return DimensionResult{}, false, err
 	}
 	key := fmt.Sprintf("dim|%s|%g", sc.Canonical(), boundMs)
-	if v, ok := e.cache.Get(key); ok {
-		out := v.(DimensionResult)
-		out.Scenario = sc
-		return out, true, nil
-	}
-	res, err := sc.Model().MaxLoad(boundMs / 1000)
+	v, shared, err := e.memo(key, func() (any, error) {
+		e.computes.Add(1)
+		res, err := sc.Model().MaxLoad(boundMs / 1000)
+		if err != nil {
+			return nil, err
+		}
+		return DimensionResult{
+			Scenario:        sc,
+			BoundMs:         boundMs,
+			MaxDownlinkLoad: res.MaxDownlinkLoad,
+			MaxGamers:       res.MaxGamers,
+			RTTAtMaxMs:      1000 * res.RTTAtMax,
+		}, nil
+	})
 	if err != nil {
 		return DimensionResult{}, false, err
 	}
-	out := DimensionResult{
-		Scenario:        sc,
-		BoundMs:         boundMs,
-		MaxDownlinkLoad: res.MaxDownlinkLoad,
-		MaxGamers:       res.MaxGamers,
-		RTTAtMaxMs:      1000 * res.RTTAtMax,
-	}
-	e.cache.Put(key, out)
-	return out, false, nil
+	out := v.(DimensionResult)
+	out.Scenario = sc
+	return out, shared, nil
 }
 
 // BatchItem is one outcome of a batch evaluation: exactly one of Result or

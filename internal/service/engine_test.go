@@ -39,7 +39,9 @@ func TestRTTCacheHitIsByteIdentical(t *testing.T) {
 	if string(a) != string(b) {
 		t.Errorf("cached response differs from cold:\n%s\n%s", a, b)
 	}
-	if entries, hits, misses := e.CacheStats(); entries != 1 || hits != 1 || misses != 1 {
+	// A cold RTT stores two entries: the full result and its sweep-point
+	// slice (shared with /v1/sweep grids).
+	if entries, hits, misses := e.CacheStats(); entries != 2 || hits != 1 || misses != 1 {
 		t.Errorf("cache stats = %d entries, %d hits, %d misses", entries, hits, misses)
 	}
 }
@@ -201,15 +203,17 @@ func TestEngineDeterministicAcrossJobs(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	e := NewEngine(1, 2)
+	// Each RTT stores two entries (full result + sweep-point slice), so a
+	// capacity of 4 holds exactly two scenarios.
+	e := NewEngine(1, 4)
 	a, b, c := testScenario(0.2), testScenario(0.3), testScenario(0.4)
 	for _, sc := range []scenario.Scenario{a, b, c} {
 		if _, _, err := e.RTT(sc); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if entries, _, _ := e.CacheStats(); entries != 2 {
-		t.Fatalf("cache holds %d entries, want 2", entries)
+	if entries, _, _ := e.CacheStats(); entries != 4 {
+		t.Fatalf("cache holds %d entries, want 4", entries)
 	}
 	// a was least recently used: evicted, so it recomputes.
 	if _, cached, _ := e.RTT(a); cached {

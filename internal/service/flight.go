@@ -1,0 +1,72 @@
+package service
+
+import "sync"
+
+// flight coalesces concurrent computations of the same cache key
+// (singleflight): however many goroutines miss on a key at once, exactly one
+// runs the computation, the rest block and share its result. Failed
+// computations are shared with the goroutines that joined them but never
+// cached, so the next request retries.
+//
+// The LRU's own hit/miss counters still record one miss per goroutine (each
+// of them did miss the cache); coalescing is visible in the engine's compute
+// counter, which under singleflight stays at one per distinct key however
+// many clients race.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-progress computation; done closes after val/err are
+// set.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlight() *flight {
+	return &flight{calls: make(map[string]*flightCall)}
+}
+
+// memo answers key from the engine's cache, joining an identical in-flight
+// computation when one exists, and otherwise runs compute exactly once,
+// storing the result in the cache on success. shared reports whether the
+// answer arrived without computing here: a cache hit or a joined flight.
+//
+// The exactly-once guarantee needs the leader to publish (cache.Put) before
+// it retires its flight entry, and every would-be second leader to re-check
+// the cache under the flight lock: a goroutine that missed the cache before
+// the leader published either still finds the flight entry (and joins) or
+// acquires the lock after the retire, by which point the Put is visible to
+// its double-check.
+func (e *Engine) memo(key string, compute func() (any, error)) (v any, shared bool, err error) {
+	if v, ok := e.cache.Get(key); ok {
+		return v, true, nil
+	}
+	e.flight.mu.Lock()
+	if c, ok := e.flight.calls[key]; ok {
+		e.flight.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	// Double-check without disturbing the hit/miss counters: a leader that
+	// finished between our miss above and this lock already published.
+	if v, ok := e.cache.peek(key); ok {
+		e.flight.mu.Unlock()
+		return v, true, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	e.flight.calls[key] = c
+	e.flight.mu.Unlock()
+
+	c.val, c.err = compute()
+	if c.err == nil {
+		e.cache.Put(key, c.val)
+	}
+	e.flight.mu.Lock()
+	delete(e.flight.calls, key)
+	e.flight.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

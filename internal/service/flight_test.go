@@ -1,0 +1,174 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"fpsping/internal/core"
+	"fpsping/internal/scenario"
+)
+
+// TestSingleflightComputesOnce is the singleflight contract: K goroutines
+// requesting the same cold scenario concurrently run exactly one core
+// computation (the compute counter moves by one), and every goroutine gets a
+// byte-identical response. The invariant holds under any interleaving: a
+// goroutine either joins the in-flight computation or, arriving later, hits
+// the cache the leader filled — there is no window in which a second leader
+// can start (see Engine.memo).
+func TestSingleflightComputesOnce(t *testing.T) {
+	const k = 16
+	e := NewEngine(4, 0)
+	sc := testScenario(0.5)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([][]byte, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, _, err := e.RTT(sc)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bodies[i], errs[i] = json.Marshal(res)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < k; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Errorf("goroutine %d response differs:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if got := e.Computes(); got != 1 {
+		t.Errorf("%d concurrent identical misses ran %d computations, want 1", k, got)
+	}
+}
+
+// TestSingleflightErrorsNotCached pins the failure path: an errored
+// computation is handed to its joiners but never cached, so a later request
+// recomputes (and fails again) instead of serving a stale error.
+func TestSingleflightErrorsNotCached(t *testing.T) {
+	e := NewEngine(2, 0)
+	unstable := testScenario(1.5)
+	if _, _, err := e.RTT(unstable); err == nil {
+		t.Fatal("unstable scenario accepted")
+	}
+	if _, _, err := e.RTT(unstable); err == nil {
+		t.Fatal("unstable scenario accepted on retry")
+	}
+	if got := e.Computes(); got != 2 {
+		t.Errorf("sequential failing requests ran %d computations, want 2 (errors must not be cached)", got)
+	}
+	if entries, _, _ := e.CacheStats(); entries != 0 {
+		t.Errorf("failed computations left %d cache entries", entries)
+	}
+}
+
+// TestSweepSharesRTTPointMemo pins the shared "pt|" key space: a /v1/rtt
+// evaluation warms the sweep grid point for the same resolved scenario, and
+// overlapping sweep grids reuse each other's points, so neither recomputes.
+func TestSweepSharesRTTPointMemo(t *testing.T) {
+	e := NewEngine(2, 0)
+	sc := scenario.Default()
+
+	// One RTT evaluation at load 0.3 = one computation...
+	at := sc
+	at.Load = 0.3
+	rtt, _, err := e.RTT(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Computes(); got != 1 {
+		t.Fatalf("cold RTT ran %d computations", got)
+	}
+	// ...and the single-point sweep crossing it runs none at all.
+	sw, _, err := e.Sweep(sc, 0.3, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Computes(); got != 1 {
+		t.Errorf("sweep over an RTT-warmed point ran %d computations, want 1", got)
+	}
+	if len(sw.Points) != 1 || sw.Points[0].RTTMs != rtt.QuantileMs {
+		t.Errorf("sweep point %+v does not match RTT answer %g ms", sw.Points, rtt.QuantileMs)
+	}
+
+	// A wider grid pays only for loads it has not seen bit-exactly. The
+	// 0.1..0.5 grid holds five points, and its third is the accumulated
+	// 0.1+0.1+0.1 = 0.30000000000000004, one ulp away from the literal 0.3
+	// above — a different scenario as far as the bit-exact canonical key is
+	// concerned, so all five points are new.
+	wide, _, err := e.Sweep(sc, 0.1, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide.Points) != 5 {
+		t.Fatalf("wide sweep returned %d points", len(wide.Points))
+	}
+	if got := e.Computes(); got != 6 {
+		t.Errorf("wide sweep brought computations to %d, want 6 (5 new points)", got)
+	}
+	// And a sub-grid of it computes nothing, while returning the same
+	// points bit for bit.
+	sub, _, err := e.Sweep(sc, 0.2, 0.4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Computes(); got != 6 {
+		t.Errorf("sub-grid sweep ran %d computations, want 6 (everything memoized)", got)
+	}
+	for i, p := range sub.Points {
+		if p != wide.Points[i+1] {
+			t.Errorf("sub-grid point %d = %+v, want %+v", i, p, wide.Points[i+1])
+		}
+	}
+}
+
+// TestSweepUnstablePointMemoized pins that the asymptote is cacheable: a
+// grid ending at an unstable load records that instability, and a second
+// grid crossing the same load stops there without recomputing.
+func TestSweepUnstablePointMemoized(t *testing.T) {
+	e := NewEngine(2, 0)
+	sc := scenario.Default()
+	first, _, err := e.Sweep(sc, 0.8, 1.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Points) != 2 {
+		t.Fatalf("sweep to 1.1 returned %d points, want 2 (0.8, 0.9; 1.0 is the asymptote)", len(first.Points))
+	}
+	after := e.Computes()
+	second, _, err := e.Sweep(sc, 0.8, 1.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Points) != 2 {
+		t.Fatalf("sweep to 1.2 returned %d points, want 2", len(second.Points))
+	}
+	// LoadGrid accumulates from the same start with the same step, so the
+	// overlapping grid's values are bit-identical: it reuses both stable
+	// points and the memoized unstable ones. Only 1.2, beyond the first
+	// grid's end (still evaluated by the parallel scan), can be new.
+	if got := e.Computes(); got > after+1 {
+		t.Errorf("overlapping unstable sweep ran %d new computations, want <= 1", got-after)
+	}
+	// An all-unstable grid still answers 422-style.
+	if _, _, err := e.Sweep(sc, 1.05, 1.2, 0.05); err == nil {
+		t.Error("all-unstable sweep did not error")
+	} else if !errors.Is(err, core.ErrUnstable) {
+		t.Errorf("all-unstable sweep error %v does not wrap core.ErrUnstable", err)
+	}
+}

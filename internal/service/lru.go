@@ -35,6 +35,17 @@ func newLRU(capacity int) *lruCache {
 	}
 }
 
+// peek returns the cached value without touching the hit/miss counters or
+// the recency order: the singleflight double-check must not distort stats.
+func (c *lruCache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruEntry).val, true
+	}
+	return nil, false
+}
+
 // Get returns the cached value and marks it most recently used.
 func (c *lruCache) Get(key string) (any, bool) {
 	c.mu.Lock()

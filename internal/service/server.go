@@ -22,9 +22,10 @@ import (
 // batch of a few thousand scenarios, far below this.
 const maxBodyBytes = 4 << 20
 
-// cacheHeader reports on every model endpoint whether the engine cache
-// answered: "hit" or "miss". The body is byte-identical either way.
-const cacheHeader = "X-Fpsping-Cache"
+// CacheHeader reports on every model endpoint whether the engine cache (or
+// a joined in-flight computation) answered: "hit" or "miss". The body is
+// byte-identical either way.
+const CacheHeader = "X-Fpsping-Cache"
 
 // Server is the fpspingd HTTP front end: routing, JSON codecs and metrics
 // around an Engine, plus lifecycle (listen, serve, graceful shutdown).
@@ -223,13 +224,14 @@ func (s *Server) handleRTT(w http.ResponseWriter, r *http.Request) (bool, error)
 	if err != nil {
 		return false, err
 	}
-	w.Header().Set(cacheHeader, hitOrMiss(cached))
+	w.Header().Set(CacheHeader, hitOrMiss(cached))
 	writeJSON(w, http.StatusOK, res)
 	return cached, nil
 }
 
-// batchRequest is the /v1/rtt:batch payload.
-type batchRequest struct {
+// BatchRequest is the /v1/rtt:batch payload. Scenarios stay raw so each
+// item is decoded (and each item's error attributed) individually.
+type BatchRequest struct {
 	Scenarios []json.RawMessage `json:"scenarios"`
 }
 
@@ -241,7 +243,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (bool, erro
 	if len(body) == 0 {
 		return false, badRequest(errors.New("batch needs a JSON body {\"scenarios\": [...]}"))
 	}
-	var req batchRequest
+	var req BatchRequest
 	if err := strictUnmarshal(body, &req); err != nil {
 		return false, badRequest(fmt.Errorf("batch body: %w", err))
 	}
@@ -258,9 +260,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (bool, erro
 	}
 	res := s.engine.Batch(scs)
 	cached := res.Cached == len(res.Results)
-	w.Header().Set(cacheHeader, hitOrMiss(cached))
+	w.Header().Set(CacheHeader, hitOrMiss(cached))
 	writeJSON(w, http.StatusOK, res)
 	return cached, nil
+}
+
+// SweepRequest is the /v1/sweep POST payload; an absent Scenario sweeps the
+// default one.
+type SweepRequest struct {
+	Scenario json.RawMessage `json:"scenario"`
+	From     float64         `json:"from"`
+	To       float64         `json:"to"`
+	Step     float64         `json:"step"`
+}
+
+// DimensionRequest is the /v1/dimension POST payload; an absent Scenario
+// dimensions the default one.
+type DimensionRequest struct {
+	Scenario json.RawMessage `json:"scenario"`
+	BoundMs  float64         `json:"bound_ms"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (bool, error) {
@@ -268,13 +286,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (bool, erro
 	if err != nil {
 		return false, err
 	}
-	type sweepRequest struct {
-		Scenario json.RawMessage `json:"scenario"`
-		From     float64         `json:"from"`
-		To       float64         `json:"to"`
-		Step     float64         `json:"step"`
-	}
-	req := sweepRequest{From: 0.05, To: 0.90, Step: 0.05}
+	req := SweepRequest{From: 0.05, To: 0.90, Step: 0.05}
 	var sc scenario.Scenario
 	if len(body) > 0 {
 		if err := strictUnmarshal(body, &req); err != nil {
@@ -306,7 +318,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (bool, erro
 	if err != nil {
 		return false, err
 	}
-	w.Header().Set(cacheHeader, hitOrMiss(cached))
+	w.Header().Set(CacheHeader, hitOrMiss(cached))
 	writeJSON(w, http.StatusOK, res)
 	return cached, nil
 }
@@ -316,11 +328,7 @@ func (s *Server) handleDimension(w http.ResponseWriter, r *http.Request) (bool, 
 	if err != nil {
 		return false, err
 	}
-	type dimensionRequest struct {
-		Scenario json.RawMessage `json:"scenario"`
-		BoundMs  float64         `json:"bound_ms"`
-	}
-	req := dimensionRequest{BoundMs: 50}
+	req := DimensionRequest{BoundMs: 50}
 	var sc scenario.Scenario
 	if len(body) > 0 {
 		if err := strictUnmarshal(body, &req); err != nil {
@@ -354,47 +362,52 @@ func (s *Server) handleDimension(w http.ResponseWriter, r *http.Request) (bool, 
 	if err != nil {
 		return false, err
 	}
-	w.Header().Set(cacheHeader, hitOrMiss(cached))
+	w.Header().Set(CacheHeader, hitOrMiss(cached))
 	writeJSON(w, http.StatusOK, res)
 	return cached, nil
 }
 
-// modelInfo is the wire form of one built-in traffic model.
-type modelInfo struct {
+// ModelInfo is the wire form of one built-in traffic model.
+type ModelInfo struct {
 	Name   string   `json:"name"`
 	Source string   `json:"source"`
 	Notes  string   `json:"notes"`
-	Server flowInfo `json:"server"`
+	Server FlowInfo `json:"server"`
 	// OfferedDownKbit12 is the downstream bit rate offered by a 12-player
 	// server, the README's comparison figure.
 	OfferedDownKbit12 float64    `json:"offered_down_kbit_12"`
-	Clients           []flowInfo `json:"clients"`
+	Clients           []FlowInfo `json:"clients"`
 }
 
-// flowInfo summarizes one flow law by its moments (the laws themselves are
+// FlowInfo summarizes one flow law by its moments (the laws themselves are
 // distributions, not JSON values).
-type flowInfo struct {
+type FlowInfo struct {
 	Name          string  `json:"name,omitempty"`
 	MeanSizeBytes float64 `json:"mean_size_bytes"`
 	MeanIATMs     float64 `json:"mean_iat_ms"`
 }
 
+// ModelsResult answers /v1/models.
+type ModelsResult struct {
+	Models []ModelInfo `json:"models"`
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) (bool, error) {
 	models := traffic.AllModels()
-	out := make([]modelInfo, len(models))
+	out := make([]ModelInfo, len(models))
 	for i, m := range models {
-		info := modelInfo{
+		info := ModelInfo{
 			Name:   m.Name,
 			Source: m.Source,
 			Notes:  m.Notes,
-			Server: flowInfo{
+			Server: FlowInfo{
 				MeanSizeBytes: m.Server.PacketSize.Mean(),
 				MeanIATMs:     1000 * m.Server.IAT.Mean(),
 			},
 			OfferedDownKbit12: m.OfferedDownstreamBitRate(12) / 1000,
 		}
 		for _, f := range m.Client {
-			info.Clients = append(info.Clients, flowInfo{
+			info.Clients = append(info.Clients, FlowInfo{
 				Name:          f.Name,
 				MeanSizeBytes: f.Size.Mean(),
 				MeanIATMs:     1000 * f.IAT.Mean(),
@@ -402,21 +415,34 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) (bool, err
 		}
 		out[i] = info
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Models []modelInfo `json:"models"`
-	}{Models: out})
+	writeJSON(w, http.StatusOK, ModelsResult{Models: out})
 	return false, nil
+}
+
+// Health answers /healthz: liveness plus the cache and compute counters
+// that tell an operator (or load generator) how hard the engine is working.
+type Health struct {
+	Status       string `json:"status"`
+	Jobs         int    `json:"jobs"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	// Computations counts core model evaluations actually run; with
+	// singleflight it moves by one per distinct cold question however many
+	// clients race for it.
+	Computations uint64 `json:"computations"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	entries, hits, misses := s.engine.CacheStats()
-	writeJSON(w, http.StatusOK, struct {
-		Status       string `json:"status"`
-		Jobs         int    `json:"jobs"`
-		CacheEntries int    `json:"cache_entries"`
-		CacheHits    uint64 `json:"cache_hits"`
-		CacheMisses  uint64 `json:"cache_misses"`
-	}{"ok", s.engine.Jobs(), entries, hits, misses})
+	writeJSON(w, http.StatusOK, Health{
+		Status:       "ok",
+		Jobs:         s.engine.Jobs(),
+		CacheEntries: entries,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Computations: s.engine.Computes(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -50,14 +50,14 @@ func TestRTTEndpointGetAndPostAgree(t *testing.T) {
 	if respGet.StatusCode != http.StatusOK {
 		t.Fatalf("GET status %d: %s", respGet.StatusCode, bodyGet)
 	}
-	if got := respGet.Header.Get(cacheHeader); got != "miss" {
+	if got := respGet.Header.Get(CacheHeader); got != "miss" {
 		t.Errorf("first call cache header %q", got)
 	}
 	respPost, bodyPost := do(t, http.MethodPost, ts.URL+"/v1/rtt", `{"load": 0.5}`)
 	if respPost.StatusCode != http.StatusOK {
 		t.Fatalf("POST status %d: %s", respPost.StatusCode, bodyPost)
 	}
-	if got := respPost.Header.Get(cacheHeader); got != "hit" {
+	if got := respPost.Header.Get(CacheHeader); got != "hit" {
 		t.Errorf("identical repeat cache header %q", got)
 	}
 	if string(bodyGet) != string(bodyPost) {
@@ -152,7 +152,7 @@ func TestSweepEndpoint(t *testing.T) {
 	if string(bodyQ) != string(bodyJ) {
 		t.Errorf("query and JSON sweeps differ:\n%s\n%s", bodyQ, bodyJ)
 	}
-	if got := respJ.Header.Get(cacheHeader); got != "hit" {
+	if got := respJ.Header.Get(CacheHeader); got != "hit" {
 		t.Errorf("repeat sweep cache header %q", got)
 	}
 	var res SweepResult
@@ -219,7 +219,7 @@ func TestModelsHealthzMetrics(t *testing.T) {
 		t.Fatalf("models status %d", resp.StatusCode)
 	}
 	var models struct {
-		Models []modelInfo `json:"models"`
+		Models []ModelInfo `json:"models"`
 	}
 	if err := json.Unmarshal(data, &models); err != nil {
 		t.Fatal(err)
