@@ -27,6 +27,12 @@
 // the head on the same runner in the same job, then compare — absolute
 // ns/op never leaves the machine it was measured on, so a committed
 // baseline from faster hardware cannot fail an innocent PR.
+//
+// By default the trailing -N GOMAXPROCS suffix is stripped, pooling every
+// -cpu count into one series (committed baselines stay comparable whatever
+// the host's core count). -keep-cpu keeps the suffix instead, so a paired
+// run at -cpu 1,4,8 gates each parallelism level separately — the knob that
+// catches a lock-contention regression visible only at -cpu 8.
 package main
 
 import (
@@ -52,10 +58,15 @@ type Baseline struct {
 
 // benchLine matches one result line of `go test -bench` output, e.g.
 // "BenchmarkServiceRTT/cached-8   300  5123 ns/op  12 B/op  1 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
 
-// parse collects every ns/op sample per benchmark name from r.
-func parse(r io.Reader) (map[string][]float64, error) {
+// parse collects every ns/op sample per benchmark name from r. With keepCPU
+// the trailing GOMAXPROCS suffix stays part of the name, so one benchmark
+// run at -cpu 1,4,8 yields three separately gated series (how the paired CI
+// run watches lock-scaling regressions); without it the suffix is stripped
+// and all cpu counts pool into one series (how the committed machine-neutral
+// baseline stays comparable across hosts).
+func parse(r io.Reader, keepCPU bool) (map[string][]float64, error) {
 	samples := make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -64,11 +75,15 @@ func parse(r io.Reader) (map[string][]float64, error) {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
+		v, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		samples[m[1]] = append(samples[m[1]], v)
+		name := m[1]
+		if keepCPU {
+			name += m[2]
+		}
+		samples[name] = append(samples[name], v)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -117,6 +132,7 @@ func run() error {
 	in := fs.String("in", "-", "benchmark output to read ('-' = stdin)")
 	threshold := fs.Float64("threshold", 0.20, "relative slowdown that counts as a regression (0.20 = +20%)")
 	minNs := fs.Float64("min-ns", 50_000, "baseline ns/op below which a benchmark is informational only (at -benchtime 3x an op this cheap measures scheduler noise, not code)")
+	keepCPU := fs.Bool("keep-cpu", false, "keep the -N GOMAXPROCS suffix in benchmark names, gating each -cpu count separately (paired -compare runs)")
 	warn := fs.Bool("warn", false, "annotate regressions but exit 0")
 	note := fs.String("note", "", "provenance note stored in the baseline on -update")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -141,7 +157,7 @@ func run() error {
 		defer f.Close()
 		input = f
 	}
-	samples, err := parse(input)
+	samples, err := parse(input, *keepCPU)
 	if err != nil {
 		return err
 	}
@@ -166,7 +182,7 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		baseSamples, err := parse(f)
+		baseSamples, err := parse(f, *keepCPU)
 		if err != nil {
 			return fmt.Errorf("benchgate: baseline run %s: %w", *compare, err)
 		}

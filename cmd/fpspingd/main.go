@@ -2,7 +2,8 @@
 // daemon: the operational counterpart of the fpsping CLI. An ISP or game
 // operator can ask "what ping will gamers see at this load, and how many
 // fit under 50 ms?" millions of times without re-running a computation —
-// repeated scenarios are answered from an LRU memo cache.
+// repeated scenarios are answered from a lock-striped LRU memo cache
+// (internal/memo; -cache total entries, -shards stripes).
 //
 // Endpoints (scenario parameters are the CLI flags, as JSON keys or query
 // parameters — see internal/scenario):
@@ -22,8 +23,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -34,30 +37,71 @@ import (
 	"fpsping/internal/service"
 )
 
-func main() {
-	fs := flag.NewFlagSet("fpspingd", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7900", "listen address (host:port; port 0 picks a free port)")
-	jobs := fs.Int("jobs", runner.DefaultWorkers(),
+// config is the daemon's parsed command line.
+type config struct {
+	addr      string
+	jobs      int
+	cacheSize int
+	shards    int
+	drain     time.Duration
+}
+
+// parseFlags parses and validates the command line. Nonsensical values are a
+// usage error, not something to silently coerce: a typo like -cache -1 must
+// fail loudly at startup, never boot a daemon with a surprise configuration.
+// Zero keeps its documented "use the default" meaning throughout.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("fpspingd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:7900", "listen address (host:port; port 0 picks a free port)")
+	fs.IntVar(&cfg.jobs, "jobs", runner.DefaultWorkers(),
 		"worker pool size for batch and sweep fan-out (responses are identical at any value)")
-	cacheSize := fs.Int("cache", service.DefaultCacheSize, "memo cache capacity in entries")
-	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	fs.IntVar(&cfg.cacheSize, "cache", service.DefaultCacheSize, "memo cache capacity in entries (total across shards)")
+	fs.IntVar(&cfg.shards, "shards", 0,
+		"memo cache shard count, rounded up to a power of two (0 = GOMAXPROCS-rounded)")
+	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	for _, f := range []struct {
+		name  string
+		value int
+	}{{"jobs", cfg.jobs}, {"cache", cfg.cacheSize}, {"shards", cfg.shards}} {
+		if f.value < 0 {
+			err := fmt.Errorf("fpspingd: -%s %d is negative (0 means the default)", f.name, f.value)
+			fmt.Fprintln(stderr, err)
+			fs.Usage()
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
 		os.Exit(2)
 	}
-	if err := run(*addr, *jobs, *cacheSize, *drain); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal("fpspingd: ", err)
 	}
 }
 
-func run(addr string, jobs, cacheSize int, drain time.Duration) error {
+func run(cfg config) error {
 	// One process-wide budget: nested fan-outs (a batch of sweeps) share
 	// -jobs instead of multiplying it.
-	runner.SetMaxParallel(jobs)
-	srv := service.NewServer(addr, service.NewEngine(jobs, cacheSize))
+	runner.SetMaxParallel(cfg.jobs)
+	engine := service.NewEngine(cfg.jobs, cfg.cacheSize, service.WithShards(cfg.shards))
+	srv := service.NewServer(cfg.addr, engine)
 	if err := srv.Listen(); err != nil {
 		return err
 	}
-	log.Printf("fpspingd: listening on http://%s (jobs=%d cache=%d)", srv.Addr(), jobs, cacheSize)
+	log.Printf("fpspingd: listening on http://%s (jobs=%d cache=%d shards=%d)",
+		srv.Addr(), cfg.jobs, cfg.cacheSize, engine.Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,8 +114,8 @@ func run(addr string, jobs, cacheSize int, drain time.Duration) error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("fpspingd: draining (up to %s)", drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("fpspingd: draining (up to %s)", cfg.drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -179,6 +179,29 @@ func TestMetricsSnapshotAndHitRatioDelta(t *testing.T) {
 	if after.UptimeSeconds < 0 {
 		t.Errorf("uptime %g", after.UptimeSeconds)
 	}
+	// The unlabeled global aggregate covers the same four requests (no other
+	// endpoint was touched) with its own latency tracker.
+	if after.Global.Requests != 4 || after.Global.CacheHits != 3 || after.Global.LatencyCount != 4 {
+		t.Errorf("global metrics: %+v", after.Global)
+	}
+	if len(after.Global.Quantiles) != 3 {
+		t.Errorf("expected 3 global latency quantiles, got %v", after.Global.Quantiles)
+	}
+	// Sharded cache gauges: one rtt| and one pt| entry, occupancies summing
+	// across shards, and lookup counters covering all four probes.
+	if after.Cache.Shards < 1 || after.Cache.Entries != 2 {
+		t.Errorf("cache gauges: %+v", after.Cache)
+	}
+	var sum uint64
+	for _, n := range after.Cache.ShardEntries {
+		sum += n
+	}
+	if sum != after.Cache.Entries {
+		t.Errorf("shard occupancies sum to %d, total gauge says %d", sum, after.Cache.Entries)
+	}
+	if after.Cache.LookupHits+after.Cache.LookupMisses != 4 {
+		t.Errorf("lookup counters %d+%d, want 4 probes", after.Cache.LookupHits, after.Cache.LookupMisses)
+	}
 	// Every request between the snapshots was a hit.
 	ratio, ok := CacheHitRatioDelta(before, after)
 	if !ok || ratio != 1 {

@@ -27,11 +27,30 @@ type EndpointMetrics struct {
 	Quantiles         map[string]float64
 }
 
+// CacheMetrics is the engine cache's slice of a /metrics scrape: the shard
+// layout and occupancy gauges plus the aggregated lookup and eviction
+// counters. LookupHits/LookupMisses count cache probes (singleflight joiners
+// probe too), unlike the per-endpoint CacheHits, which count requests
+// answered without computing.
+type CacheMetrics struct {
+	Shards       int
+	Entries      uint64
+	LookupHits   uint64
+	LookupMisses uint64
+	Evictions    uint64
+	// ShardEntries maps shard index to its occupancy.
+	ShardEntries map[int]uint64
+}
+
 // MetricsSnapshot is one parsed /metrics scrape. Two snapshots bracket a
 // run: their difference is what the run did (see CacheHitRatioDelta).
 type MetricsSnapshot struct {
 	UptimeSeconds float64
-	Endpoints     map[string]EndpointMetrics
+	// Global aggregates every instrumented request, whatever the endpoint
+	// (the daemon's unlabeled tracker).
+	Global    EndpointMetrics
+	Endpoints map[string]EndpointMetrics
+	Cache     CacheMetrics
 }
 
 // metricLine matches one sample line: name, optional {labels}, value.
@@ -64,15 +83,43 @@ func ParseMetrics(data []byte) (MetricsSnapshot, error) {
 		for _, kv := range labelPair.FindAllSubmatch(rawLabels, -1) {
 			labels[string(kv[1])] = string(kv[2])
 		}
-		if name == "fpsping_uptime_seconds" {
+		switch name {
+		case "fpsping_uptime_seconds":
 			snap.UptimeSeconds = value
 			continue
-		}
-		endpoint := labels["endpoint"]
-		if endpoint == "" {
+		case "fpsping_cache_shards":
+			snap.Cache.Shards = int(value)
+			continue
+		case "fpsping_cache_entries":
+			snap.Cache.Entries = uint64(value)
+			continue
+		case "fpsping_cache_lookup_hits_total":
+			snap.Cache.LookupHits = uint64(value)
+			continue
+		case "fpsping_cache_lookup_misses_total":
+			snap.Cache.LookupMisses = uint64(value)
+			continue
+		case "fpsping_cache_evictions_total":
+			snap.Cache.Evictions = uint64(value)
+			continue
+		case "fpsping_cache_shard_entries":
+			shard, err := strconv.Atoi(labels["shard"])
+			if err != nil {
+				return snap, fmt.Errorf("client: shard label %q: %w", labels["shard"], err)
+			}
+			if snap.Cache.ShardEntries == nil {
+				snap.Cache.ShardEntries = make(map[int]uint64)
+			}
+			snap.Cache.ShardEntries[shard] = uint64(value)
 			continue
 		}
+		endpoint, labeled := labels["endpoint"]
+		// Request metrics without an endpoint label are the daemon's global
+		// aggregate over all instrumented endpoints.
 		es := snap.Endpoints[endpoint]
+		if !labeled {
+			es = snap.Global
+		}
 		switch name {
 		case "fpsping_requests_total":
 			es.Requests = uint64(value)
@@ -90,7 +137,11 @@ func ParseMetrics(data []byte) (MetricsSnapshot, error) {
 			}
 			es.Quantiles[labels["quantile"]] = value
 		}
-		snap.Endpoints[endpoint] = es
+		if labeled {
+			snap.Endpoints[endpoint] = es
+		} else {
+			snap.Global = es
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return snap, err

@@ -20,12 +20,31 @@ type DimensioningResult struct {
 	Bound float64
 }
 
+// PointEval evaluates the model's RTT quantile (seconds) at downlink load
+// rho. It is the dimensioning bisection's extension point: MaxLoad plugs in
+// a direct RTTQuantile evaluation, while a caching front end (the daemon's
+// Engine.Dimension) plugs in a memoized one, so repeated bisections share
+// quantile inversions instead of recomputing them. An implementation must be
+// bit-identical to WithDownlinkLoad(rho).RTTQuantile() — the bisection's
+// branch decisions, and therefore its answer, follow the returned values
+// exactly.
+type PointEval func(rho float64) (float64, error)
+
 // MaxLoad finds the largest downlink load whose RTT quantile stays within
 // rttBound, by bisection over the load (the quantile is monotone increasing
 // in load). The search respects both directions' stability limits: with
 // PS < PC the uplink saturates first (§4 notes the crossover at downlink
 // load PS/PC).
 func (m Model) MaxLoad(rttBound float64) (DimensioningResult, error) {
+	return m.MaxLoadWith(rttBound, nil)
+}
+
+// MaxLoadWith is MaxLoad with the per-load quantile evaluation delegated to
+// rttAt (nil means the direct evaluation). The probe sequence — lo and the
+// stability ceiling first, then the midpoints — is identical whatever the
+// evaluator, so a memoizing rttAt changes only where the numbers come from,
+// never what they are.
+func (m Model) MaxLoadWith(rttBound float64, rttAt PointEval) (DimensioningResult, error) {
 	if !(rttBound > 0) {
 		return DimensioningResult{}, fmt.Errorf("%w: rtt bound %g", ErrBadModel, rttBound)
 	}
@@ -49,8 +68,10 @@ func (m Model) MaxLoad(rttBound float64) (DimensioningResult, error) {
 	}
 	ceil -= 1e-6
 
-	rttAt := func(rho float64) (float64, error) {
-		return m.WithDownlinkLoad(rho).RTTQuantile()
+	if rttAt == nil {
+		rttAt = func(rho float64) (float64, error) {
+			return m.WithDownlinkLoad(rho).RTTQuantile()
+		}
 	}
 
 	lo := 1e-6
@@ -93,8 +114,11 @@ func (m Model) MaxLoad(rttBound float64) (DimensioningResult, error) {
 			break
 		}
 	}
+	// lo is always a load the bisection already probed (it starts at the
+	// vanishing-load probe and only ever moves to an accepted midpoint), so
+	// a memoizing evaluator answers this final call from its cache.
 	at := m.WithDownlinkLoad(lo)
-	rtt, err := at.RTTQuantile()
+	rtt, err := rttAt(lo)
 	if err != nil {
 		return DimensioningResult{}, err
 	}

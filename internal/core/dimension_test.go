@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestMaxLoadWithMatchesMaxLoad pins the evaluator hook's contract: with a
+// faithful PointEval the bisection takes the same branches and returns the
+// bit-identical result as the direct path, the final evaluation re-asks a
+// probed load (so a memoizing evaluator answers it from cache), and probes
+// never repeat except for that closing call.
+func TestMaxLoadWithMatchesMaxLoad(t *testing.T) {
+	m := DSLDefaults()
+	m.ServerPacketBytes = 125
+	m.BurstInterval = 0.040
+	m.ErlangOrder = 9
+
+	direct, err := m.MaxLoad(0.050)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[float64]int)
+	calls := 0
+	hooked, err := m.MaxLoadWith(0.050, func(rho float64) (float64, error) {
+		calls++
+		seen[rho]++
+		if !(rho > 0) {
+			t.Errorf("bisection probed non-positive load %g", rho)
+		}
+		return m.WithDownlinkLoad(rho).RTTQuantile()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked != direct {
+		t.Errorf("hooked result %+v differs from direct %+v", hooked, direct)
+	}
+	if calls < 3 {
+		t.Fatalf("bisection ran only %d evaluations", calls)
+	}
+	if len(seen) != calls-1 {
+		t.Errorf("%d distinct probes over %d calls; only the closing call may repeat", len(seen), calls)
+	}
+	repeated := 0
+	for rho, n := range seen {
+		if n > 1 {
+			repeated++
+			if n != 2 || rho != direct.MaxDownlinkLoad {
+				t.Errorf("load %g probed %d times; only the accepted load may be re-asked once", rho, n)
+			}
+		}
+	}
+	if repeated != 1 {
+		t.Errorf("%d loads probed twice, want exactly the accepted one", repeated)
+	}
+
+	// The bound-never-binds fast path goes through the hook too.
+	if _, err := m.MaxLoadWith(10, func(rho float64) (float64, error) {
+		return m.WithDownlinkLoad(rho).RTTQuantile()
+	}); err != nil {
+		t.Errorf("huge bound via hook: %v", err)
+	}
+
+	// A failing evaluator propagates instead of being swallowed.
+	if _, err := m.MaxLoadWith(0.050, func(rho float64) (float64, error) {
+		return 0, ErrUnstable
+	}); err == nil {
+		t.Error("evaluator error not propagated")
+	}
+}

@@ -83,30 +83,40 @@ type recorder struct {
 }
 
 type endpointAgg struct {
-	count   int
-	errs    int
-	latency stats.Summary
+	count     int
+	errs      int
+	latency   stats.Summary
+	quantiles map[string]*stats.PQuantile
 }
 
 // reportLevels are the latency quantiles a load report prints.
 var reportLevels = []string{"0.5", "0.9", "0.95", "0.99"}
 
-func newRecorder() *recorder {
-	r := &recorder{
-		quantiles:   make(map[string]*stats.PQuantile, len(reportLevels)),
-		perEndpoint: make(map[OpKind]*endpointAgg),
-		status:      make(map[int]int),
-	}
-	for _, level := range reportLevels {
+// endpointLevels are the per-endpoint quantiles (the report's breakdown
+// keeps to the three headline levels).
+var endpointLevels = []string{"0.5", "0.9", "0.99"}
+
+// newQuantiles builds one P² estimator per level.
+func newQuantiles(levels []string) map[string]*stats.PQuantile {
+	qs := make(map[string]*stats.PQuantile, len(levels))
+	for _, level := range levels {
 		var p float64
 		fmt.Sscanf(level, "%g", &p)
 		pq, err := stats.NewPQuantile(p)
 		if err != nil {
 			panic("load: bad report level " + level)
 		}
-		r.quantiles[level] = pq
+		qs[level] = pq
 	}
-	return r
+	return qs
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		quantiles:   newQuantiles(reportLevels),
+		perEndpoint: make(map[OpKind]*endpointAgg),
+		status:      make(map[int]int),
+	}
 }
 
 // observe folds one measured operation into the aggregates.
@@ -121,11 +131,14 @@ func (r *recorder) observe(op Op, elapsed time.Duration, status int, err error) 
 	}
 	agg := r.perEndpoint[op.Kind]
 	if agg == nil {
-		agg = &endpointAgg{}
+		agg = &endpointAgg{quantiles: newQuantiles(endpointLevels)}
 		r.perEndpoint[op.Kind] = agg
 	}
 	agg.count++
 	agg.latency.Add(sec)
+	for _, pq := range agg.quantiles {
+		pq.Add(sec)
+	}
 	r.status[status]++
 	if err != nil {
 		r.errs++
@@ -315,6 +328,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			Requests: agg.count,
 			Errors:   agg.errs,
 			MeanMs:   1000 * agg.latency.Mean(),
+			P50Ms:    1000 * agg.quantiles["0.5"].Value(),
+			P90Ms:    1000 * agg.quantiles["0.9"].Value(),
+			P99Ms:    1000 * agg.quantiles["0.99"].Value(),
 		}
 	}
 	for status, n := range rec.status {
@@ -331,6 +347,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.Cache = CacheReport{
 		RequestsBefore: reqB, HitsBefore: hitB,
 		RequestsAfter: reqA, HitsAfter: hitA,
+		Shards:         after.Cache.Shards,
+		EntriesAfter:   after.Cache.Entries,
+		EvictionsAfter: after.Cache.Evictions,
 	}
 	if ratio, ok := client.CacheHitRatioDelta(before, after); ok {
 		rep.Cache.HitRatio = ratio

@@ -17,11 +17,17 @@ type LatencyReport struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-// EndpointReport is one endpoint's slice of the measured phase.
+// EndpointReport is one endpoint's slice of the measured phase, with its
+// own latency quantiles (P² estimators, like the global ones): a sweep's
+// hundreds of milliseconds must not hide inside an average dominated by
+// sub-millisecond rtt hits.
 type EndpointReport struct {
 	Requests int     `json:"requests"`
 	Errors   int     `json:"errors"`
 	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // CacheReport brackets the measured phase with /metrics cache counters
@@ -36,6 +42,12 @@ type CacheReport struct {
 	// Valid is false when no model-endpoint requests landed between the
 	// snapshots (e.g. a models-only mix).
 	Valid bool `json:"valid"`
+	// Shards, EntriesAfter and EvictionsAfter mirror the daemon's sharded
+	// memo-cache gauges at the closing scrape (zero against a daemon that
+	// predates them).
+	Shards         int    `json:"shards,omitempty"`
+	EntriesAfter   uint64 `json:"entries_after,omitempty"`
+	EvictionsAfter uint64 `json:"evictions_after,omitempty"`
 }
 
 // Report is one load run's outcome; it marshals to JSON as the machine
@@ -86,6 +98,10 @@ func (r *Report) Text() string {
 	} else {
 		b.WriteString("cache        no model-endpoint traffic measured\n")
 	}
+	if r.Cache.Shards > 0 {
+		fmt.Fprintf(&b, "cache        %d shards, %d entries, %d evictions\n",
+			r.Cache.Shards, r.Cache.EntriesAfter, r.Cache.EvictionsAfter)
+	}
 	names := make([]string, 0, len(r.Endpoints))
 	for name := range r.Endpoints {
 		names = append(names, name)
@@ -93,8 +109,8 @@ func (r *Report) Text() string {
 	sort.Strings(names)
 	for _, name := range names {
 		ep := r.Endpoints[name]
-		fmt.Fprintf(&b, "  %-10s %6d ops  %d errors  mean %.3g ms\n",
-			name, ep.Requests, ep.Errors, ep.MeanMs)
+		fmt.Fprintf(&b, "  %-10s %6d ops  %d errors  mean %.3g  p50 %.3g  p90 %.3g  p99 %.3g ms\n",
+			name, ep.Requests, ep.Errors, ep.MeanMs, ep.P50Ms, ep.P90Ms, ep.P99Ms)
 	}
 	if len(r.StatusCounts) > 1 || r.StatusCounts["200"] != r.Requests {
 		statuses := make([]string, 0, len(r.StatusCounts))

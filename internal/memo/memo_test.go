@@ -1,0 +1,260 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestShardCountResolution(t *testing.T) {
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{1024, 1, 1},
+		{1024, 2, 2},
+		{1024, 3, 4}, // rounded up to a power of two
+		{1024, 5, 8},
+		{4, 8, 4}, // clamped: every shard must hold >= 1 entry
+		{3, 8, 2}, // clamp keeps the power of two
+		{1, 64, 1},
+		{0, 16, 1}, // capacity floor of 1 clamps shards to 1 too
+	}
+	for _, c := range cases {
+		got := New[int](c.capacity, c.shards).Shards()
+		if got != c.want {
+			t.Errorf("New(cap=%d, shards=%d).Shards() = %d, want %d",
+				c.capacity, c.shards, got, c.want)
+		}
+	}
+	if def := New[int](1<<20, 0).Shards(); def != DefaultShards() {
+		t.Errorf("shards<=0 resolved to %d, want DefaultShards()=%d", def, DefaultShards())
+	}
+	// An absurd shard request must neither loop nor overflow: ceilPow2
+	// saturates and the capacity clamp brings it back down.
+	if got := New[int](64, math.MaxInt).Shards(); got != 64 {
+		t.Errorf("New(64, MaxInt).Shards() = %d, want 64", got)
+	}
+	if d := DefaultShards(); d&(d-1) != 0 || d < 1 {
+		t.Errorf("DefaultShards() = %d is not a power of two", d)
+	}
+}
+
+func TestCapacitySplitPreservesTotal(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, 64, 100, 4096} {
+		for _, shards := range []int{1, 2, 8, 16} {
+			c := New[int](capacity, shards)
+			total := 0
+			for _, s := range c.Stats().Shards {
+				if s.Capacity < 1 {
+					t.Fatalf("cap=%d shards=%d: shard capacity %d < 1", capacity, shards, s.Capacity)
+				}
+				total += s.Capacity
+			}
+			if total != capacity {
+				t.Errorf("cap=%d shards=%d: shard capacities sum to %d", capacity, shards, total)
+			}
+		}
+	}
+}
+
+func TestSingleShardLRUSemantics(t *testing.T) {
+	// With one shard the cache is a plain LRU: the old engine cache's
+	// eviction-order contract must hold exactly.
+	c := New[int](2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // update, not insert: moves a to front
+	c.Put("c", 3)  // evicts b, the LRU entry
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Errorf("a = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestGetTouchesRecency(t *testing.T) {
+	c := New[int](2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // a becomes most recently used
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("a"); !ok {
+		t.Error("touched entry evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("untouched entry survived")
+	}
+}
+
+func TestStatsAggregateAcrossShards(t *testing.T) {
+	c := New[string](64, 8)
+	if c.Shards() != 8 {
+		t.Fatalf("Shards() = %d", c.Shards())
+	}
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), "v")
+	}
+	st := c.Stats()
+	if st.Entries != 32 || c.Len() != 32 {
+		t.Errorf("entries = %d, Len = %d, want 32", st.Entries, c.Len())
+	}
+	sum := 0
+	for _, s := range st.Shards {
+		sum += s.Entries
+	}
+	if sum != st.Entries {
+		t.Errorf("per-shard entries sum %d != total %d", sum, st.Entries)
+	}
+	for i := 0; i < 32; i++ {
+		c.Get(fmt.Sprintf("key-%d", i))
+	}
+	c.Get("absent")
+	st = c.Stats()
+	if st.Hits != 32 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 32/1", st.Hits, st.Misses)
+	}
+}
+
+func TestDoComputesOncePerKey(t *testing.T) {
+	c := New[int](128, 4)
+	const k = 16
+	var computes int
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	vals := make([]int, k)
+	shareds := make([]bool, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			v, shared, err := c.Do("key", func() (int, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], shareds[i] = v, shared
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Errorf("%d concurrent Do calls ran %d computes, want 1", k, computes)
+	}
+	leaders := 0
+	for i := 0; i < k; i++ {
+		if vals[i] != 42 {
+			t.Errorf("goroutine %d got %d", i, vals[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d goroutines reported shared=false, want exactly the leader", leaders)
+	}
+	// A later call is a plain hit.
+	if _, shared, _ := c.Do("key", func() (int, error) { t.Error("recomputed"); return 0, nil }); !shared {
+		t.Error("warm Do missed the cache")
+	}
+}
+
+func TestDoErrorsNotCached(t *testing.T) {
+	c := New[int](8, 2)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (int, error) { calls++; return 0, boom }
+	if _, shared, err := c.Do("k", fail); err != boom || shared {
+		t.Fatalf("first Do: shared=%v err=%v", shared, err)
+	}
+	if _, _, err := c.Do("k", fail); err != boom {
+		t.Fatalf("second Do err=%v", err)
+	}
+	if calls != 2 {
+		t.Errorf("failing compute ran %d times, want 2 (errors are never cached)", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed computes left %d entries", c.Len())
+	}
+}
+
+// TestDoPanicDoesNotWedgeKey pins panic safety: a compute that panics still
+// retires its flight entry (the panic propagates to its caller), joiners of
+// the doomed flight get an error rather than a zero-value success, and the
+// key stays answerable afterwards.
+func TestDoPanicDoesNotWedgeKey(t *testing.T) {
+	c := New[int](8, 2)
+	joined := make(chan struct{})
+	joinerDone := make(chan error, 1)
+	go func() {
+		// Joins the panicking leader's flight once it is registered.
+		<-joined
+		_, _, err := c.Do("k", func() (int, error) { return 7, nil })
+		joinerDone <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader's caller")
+			}
+		}()
+		c.Do("k", func() (int, error) {
+			close(joined)
+			// Give the joiner a beat to register on the flight; even if it
+			// misses the window and recomputes instead, it must not hang.
+			for i := 0; i < 1000; i++ {
+				runtime.Gosched()
+			}
+			panic("boom")
+		})
+	}()
+	if err := <-joinerDone; err != nil {
+		// A joiner of the panicked flight sees an error — acceptable; a
+		// late arrival recomputes and succeeds — also acceptable. Either
+		// way the next call must work:
+		t.Logf("joiner observed: %v", err)
+	}
+	v, _, err := c.Do("k", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("key wedged after panic: v=%d err=%v", v, err)
+	}
+}
+
+func TestDoDistinctKeysDoNotCoalesce(t *testing.T) {
+	c := New[int](128, 4)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, shared, err := c.Do(key, func() (int, error) { return i, nil })
+		if err != nil || shared || v != i {
+			t.Fatalf("key %s: v=%d shared=%v err=%v", key, v, shared, err)
+		}
+	}
+	if c.Len() != 20 {
+		t.Errorf("Len = %d, want 20", c.Len())
+	}
+}
+
+func TestZeroValueHit(t *testing.T) {
+	// A stored zero value is still a hit (the ok bool disambiguates).
+	c := New[int](8, 1)
+	c.Put("zero", 0)
+	if v, ok := c.Get("zero"); !ok || v != 0 {
+		t.Errorf("zero value: v=%d ok=%v", v, ok)
+	}
+}

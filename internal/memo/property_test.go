@@ -1,0 +1,187 @@
+package memo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// refLRU is the obviously-correct reference model: a map plus an explicit
+// recency slice, no locks, no shards. The property tests compare the cache
+// against it op for op.
+type refLRU struct {
+	cap    int
+	order  []string // front = most recently used
+	items  map[string]int
+	hits   uint64
+	misses uint64
+	evicts uint64
+}
+
+func newRefLRU(capacity int) *refLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &refLRU{cap: capacity, items: make(map[string]int)}
+}
+
+func (r *refLRU) touch(key string) {
+	for i, k := range r.order {
+		if k == key {
+			r.order = append([]string{key}, append(r.order[:i], r.order[i+1:]...)...)
+			return
+		}
+	}
+}
+
+func (r *refLRU) get(key string) (int, bool) {
+	v, ok := r.items[key]
+	if !ok {
+		r.misses++
+		return 0, false
+	}
+	r.hits++
+	r.touch(key)
+	return v, true
+}
+
+func (r *refLRU) put(key string, val int) {
+	if _, ok := r.items[key]; ok {
+		r.items[key] = val
+		r.touch(key)
+		return
+	}
+	for len(r.order) >= r.cap {
+		last := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		delete(r.items, last)
+		r.evicts++
+	}
+	r.order = append([]string{key}, r.order...)
+	r.items[key] = val
+}
+
+// TestPropertySingleShardMatchesReference drives a single-shard cache and
+// the reference model through the same random op sequence: every get result,
+// every counter and the final occupancy must match exactly. With one shard
+// the cache must BE an LRU, not merely resemble one — this is the contract
+// the engine's eviction tests stand on.
+func TestPropertySingleShardMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(12)
+		c := New[int](capacity, 1)
+		ref := newRefLRU(capacity)
+		keys := make([]string, 3+rng.Intn(20))
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", i)
+		}
+		for op := 0; op < 500; op++ {
+			key := keys[rng.Intn(len(keys))]
+			if rng.Intn(2) == 0 {
+				val := rng.Intn(1000)
+				c.Put(key, val)
+				ref.put(key, val)
+			} else {
+				got, gotOK := c.Get(key)
+				want, wantOK := ref.get(key)
+				if gotOK != wantOK || got != want {
+					t.Fatalf("seed %d op %d: Get(%s) = (%d, %v), reference (%d, %v)",
+						seed, op, key, got, gotOK, want, wantOK)
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Entries != len(ref.items) {
+			t.Errorf("seed %d: entries %d, reference %d", seed, st.Entries, len(ref.items))
+		}
+		if st.Hits != ref.hits || st.Misses != ref.misses || st.Evictions != ref.evicts {
+			t.Errorf("seed %d: counters %d/%d/%d, reference %d/%d/%d", seed,
+				st.Hits, st.Misses, st.Evictions, ref.hits, ref.misses, ref.evicts)
+		}
+	}
+}
+
+// TestPropertyShardedMatchesSingleShardAnswers pins the striping contract:
+// for any interleaving of Do calls, a sharded cache and a single-shard cache
+// return identical answers. The values are a pure function of the key, so
+// answers must be correct whatever shard the key lands on and however the
+// goroutines race; with capacity covering the key space, the two layouts
+// also agree on total misses (one per distinct key, plus joiners) and total
+// computes (exactly one per distinct key).
+func TestPropertyShardedMatchesSingleShardAnswers(t *testing.T) {
+	value := func(key string) int {
+		h := 17
+		for i := 0; i < len(key); i++ {
+			h = 31*h + int(key[i])
+		}
+		return h
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		keys := make([]string, 32)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("scenario-%d-%d", seed, i)
+		}
+		for _, shards := range []int{1, 8} {
+			c := New[int](1024, shards)
+			var computes sync.Map
+			var wg sync.WaitGroup
+			workers := 8
+			perWorker := 200
+			results := make([][]int, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+					results[w] = make([]int, perWorker)
+					for i := 0; i < perWorker; i++ {
+						key := keys[rng.Intn(len(keys))]
+						v, _, err := c.Do(key, func() (int, error) {
+							n, _ := computes.LoadOrStore(key, new(int))
+							// Concurrent increments on the same key would be a
+							// singleflight violation; detected below via count.
+							*(n.(*int))++
+							return value(key), nil
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						results[w][i] = v
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Every answer equals the pure function of its key, whatever the
+			// interleaving — identical between sharded and single-shard runs
+			// by transitivity.
+			for w := 0; w < workers; w++ {
+				rng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+				for i := 0; i < perWorker; i++ {
+					key := keys[rng.Intn(len(keys))]
+					if results[w][i] != value(key) {
+						t.Fatalf("shards=%d seed=%d: worker %d op %d on %s got %d, want %d",
+							shards, seed, w, i, key, results[w][i], value(key))
+					}
+				}
+			}
+			distinct := 0
+			computes.Range(func(_, n any) bool {
+				distinct++
+				if got := *(n.(*int)); got != 1 {
+					t.Errorf("shards=%d seed=%d: a key computed %d times, want 1", shards, seed, got)
+				}
+				return true
+			})
+			st := c.Stats()
+			if st.Entries != distinct {
+				t.Errorf("shards=%d seed=%d: %d entries for %d distinct keys", shards, seed, st.Entries, distinct)
+			}
+			if st.Evictions != 0 {
+				t.Errorf("shards=%d seed=%d: %d evictions with capacity >> keys", shards, seed, st.Evictions)
+			}
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package service puts the paper's ping model behind a long-lived daemon:
-// a concurrency-safe Engine layered over internal/core with an LRU memo
-// cache keyed by canonical scenario (the Erlang/Mixture quantile bisections
-// and sweep grids are the hot path, so repeated queries must not recompute
+// a concurrency-safe Engine layered over internal/core with a sharded LRU
+// memo cache (internal/memo) keyed by canonical scenario (the Erlang/Mixture
+// quantile bisections and sweep grids are the hot path, so repeated queries
+// must not recompute them — nor serialize on one lock while not recomputing
 // them), batch fan-out over internal/runner, and an HTTP/JSON front end
 // (cmd/fpspingd) with counters and latency histograms via internal/stats.
 //
@@ -17,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"fpsping/internal/core"
+	"fpsping/internal/memo"
 	"fpsping/internal/runner"
 	"fpsping/internal/scenario"
 )
@@ -29,30 +31,49 @@ const DefaultCacheSize = 4096
 
 // Engine evaluates scenarios concurrently with memoization and singleflight
 // miss coalescing: concurrent identical cache misses compute once and share
-// the result. All methods are safe for concurrent use; results handed out on
-// cache hits are shared, so callers must treat them as immutable.
+// the result. The memo cache is lock-striped (internal/memo), so concurrent
+// hits on independent keys never contend on a shared mutex. All methods are
+// safe for concurrent use; results handed out on cache hits are shared, so
+// callers must treat them as immutable.
 type Engine struct {
 	jobs    int
-	cache   *lruCache
-	flight  *flight
+	cache   *memo.Cache[any]
 	metrics *Metrics
 	// computes counts core model evaluations actually run (one per cold RTT,
-	// one per cold sweep point, one per cold dimensioning): the observable
-	// proof that the cache and singleflight are doing their jobs.
+	// one per cold sweep point, one per cold dimensioning bisection point):
+	// the observable proof that the cache and singleflight are doing their
+	// jobs.
 	computes atomic.Uint64
 }
 
+// Option configures an Engine at construction.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	shards int
+}
+
+// WithShards sets the memo cache's shard count (rounded up to a power of
+// two, clamped so every shard holds at least one entry). The default,
+// 0, resolves to memo.DefaultShards(): GOMAXPROCS rounded up to a power of
+// two. One shard reproduces the single-mutex cache of earlier versions.
+func WithShards(n int) Option { return func(c *engineConfig) { c.shards = n } }
+
 // NewEngine returns an engine fanning batch work over at most jobs workers
 // (<= 0 means one per CPU) and memoizing up to cacheSize results (<= 0
-// means DefaultCacheSize).
-func NewEngine(jobs, cacheSize int) *Engine {
+// means DefaultCacheSize) in a cache striped per WithShards.
+func NewEngine(jobs, cacheSize int, opts ...Option) *Engine {
 	if jobs <= 0 {
 		jobs = runner.DefaultWorkers()
 	}
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
 	}
-	return &Engine{jobs: jobs, cache: newLRU(cacheSize), flight: newFlight(), metrics: NewMetrics()}
+	var cfg engineConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Engine{jobs: jobs, cache: memo.New[any](cacheSize, cfg.shards), metrics: NewMetrics()}
 }
 
 // Jobs returns the engine's worker budget.
@@ -63,16 +84,31 @@ func (e *Engine) Jobs() int { return e.jobs }
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
 // CacheStats returns the memo cache's entry count and cumulative hit/miss
-// counters.
+// counters (aggregated over shards; see CacheDetail for the breakdown).
 func (e *Engine) CacheStats() (entries int, hits, misses uint64) {
-	hits, misses = e.cache.Stats()
-	return e.cache.Len(), hits, misses
+	st := e.cache.Stats()
+	return st.Entries, st.Hits, st.Misses
 }
 
+// CacheDetail returns the full per-shard cache snapshot: occupancy,
+// capacity, hit/miss/eviction counters per stripe plus totals.
+func (e *Engine) CacheDetail() memo.Stats { return e.cache.Stats() }
+
+// Shards returns the memo cache's shard count.
+func (e *Engine) Shards() int { return e.cache.Shards() }
+
 // Computes returns the cumulative number of core model evaluations the
-// engine has actually run. Under singleflight, K concurrent identical cold
-// requests move this by exactly one.
+// engine has actually run: one per cold RTT, one per cold sweep or
+// dimensioning bisection point (a cold /v1/dimension therefore moves it by
+// its probe count, not by one). Under singleflight, K concurrent identical
+// cold requests move it exactly as far as one would.
 func (e *Engine) Computes() uint64 { return e.computes.Load() }
+
+// memo answers key from the sharded cache with singleflight coalescing (see
+// memo.Cache.Do). shared reports a hit or a joined in-flight computation.
+func (e *Engine) memo(key string, compute func() (any, error)) (any, bool, error) {
+	return e.cache.Do(key, compute)
+}
 
 // ComponentsMs is the RTT decomposition in milliseconds, each stochastic
 // part reported at the scenario's quantile level in isolation (the quantile
@@ -239,6 +275,23 @@ func (e *Engine) point(psc scenario.Scenario) (pointMemo, error) {
 	return v.(pointMemo), nil
 }
 
+// pointAt resolves the scenario at downlink load rho through the shared
+// per-scenario point memo, mapping a memoized unstable marker back to
+// core.ErrUnstable. It is the one evaluator behind both sweep grids and
+// dimensioning bisections, which is what makes their point reuse bit-exact.
+func (e *Engine) pointAt(sc scenario.Scenario, rho float64) (pointMemo, error) {
+	psc := sc
+	psc.Load = rho
+	pm, err := e.point(psc)
+	if err != nil {
+		return pointMemo{}, err
+	}
+	if pm.Unstable {
+		return pointMemo{}, core.ErrUnstable
+	}
+	return pm, nil
+}
+
 // computeSweep assembles a cold sweep from per-point memo entries through
 // core.SweepGridWith, which owns the serial semantics (error on an invalid
 // load before the asymptote, stop at the first unstable point) for the CLI
@@ -246,14 +299,9 @@ func (e *Engine) point(psc scenario.Scenario) (pointMemo, error) {
 func (e *Engine) computeSweep(sc scenario.Scenario, from, to, step float64) (SweepResult, error) {
 	pts, err := sc.Model().SweepGridWith(core.LoadGrid(from, to, step), e.jobs,
 		func(rho float64) (core.SweepPoint, error) {
-			psc := sc
-			psc.Load = rho
-			pm, err := e.point(psc)
+			pm, err := e.pointAt(sc, rho)
 			if err != nil {
 				return core.SweepPoint{}, err
-			}
-			if pm.Unstable {
-				return core.SweepPoint{}, core.ErrUnstable
 			}
 			return core.SweepPoint{Load: rho, Gamers: pm.Gamers, RTT: pm.RTT}, nil
 		})
@@ -281,15 +329,25 @@ type DimensionResult struct {
 // Dimension finds the maximum load and whole-gamer count whose RTT quantile
 // stays within boundMs, memoized on (scenario, bound). The bisection behind
 // it evaluates dozens of quantile inversions, making this the endpoint that
-// profits most from the cache.
+// profits most from the cache — so every inversion resolves through the
+// shared "pt|" point memo (core.Model.MaxLoadWith) instead of bypassing it:
+// a dimension call reuses points a sweep or an earlier dimensioning of the
+// same scenario already computed (the bisections at different bounds share
+// their opening probes and the midpoint prefix up to the first diverging
+// comparison), and conversely warms the memo for them.
 func (e *Engine) Dimension(sc scenario.Scenario, boundMs float64) (DimensionResult, bool, error) {
 	if err := sc.Validate(); err != nil {
 		return DimensionResult{}, false, err
 	}
 	key := fmt.Sprintf("dim|%s|%g", sc.Canonical(), boundMs)
 	v, shared, err := e.memo(key, func() (any, error) {
-		e.computes.Add(1)
-		res, err := sc.Model().MaxLoad(boundMs / 1000)
+		res, err := sc.Model().MaxLoadWith(boundMs/1000, func(rho float64) (float64, error) {
+			pm, err := e.pointAt(sc, rho)
+			if err != nil {
+				return 0, err
+			}
+			return pm.RTT, nil
+		})
 		if err != nil {
 			return nil, err
 		}

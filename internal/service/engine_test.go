@@ -204,8 +204,9 @@ func TestEngineDeterministicAcrossJobs(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	// Each RTT stores two entries (full result + sweep-point slice), so a
-	// capacity of 4 holds exactly two scenarios.
-	e := NewEngine(1, 4)
+	// capacity of 4 holds exactly two scenarios. One shard pins the exact
+	// global LRU order; striped layouts spread the same budget per shard.
+	e := NewEngine(1, 4, WithShards(1))
 	a, b, c := testScenario(0.2), testScenario(0.3), testScenario(0.4)
 	for _, sc := range []scenario.Scenario{a, b, c} {
 		if _, _, err := e.RTT(sc); err != nil {
@@ -225,17 +226,46 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
-func TestLRUUpdateMovesToFront(t *testing.T) {
-	c := newLRU(2)
-	c.Put("a", 1)
-	c.Put("b", 2)
-	c.Put("a", 10) // update, not insert
-	c.Put("c", 3)  // evicts b, the LRU entry
-	if _, ok := c.Get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
-		t.Errorf("a = %v, %v", v, ok)
+// TestShardedCacheKeepsEngineSemantics pins that striping is invisible to
+// the engine contract: at any shard count the same requests produce the same
+// answers and the same compute count, and the per-shard occupancies reported
+// by CacheDetail sum to the total entry count. (The LRU order itself is
+// exercised exhaustively in internal/memo's property tests.)
+func TestShardedCacheKeepsEngineSemantics(t *testing.T) {
+	var ref []byte
+	var refComputes uint64
+	for _, shards := range []int{1, 4, 0} {
+		e := NewEngine(2, 0, WithShards(shards))
+		var got []byte
+		for _, load := range []float64{0.2, 0.4, 0.2, 0.6} {
+			res, _, err := e.RTT(testScenario(load))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := json.Marshal(res)
+			got = append(got, data...)
+		}
+		if ref == nil {
+			ref, refComputes = got, e.Computes()
+		} else {
+			if string(got) != string(ref) {
+				t.Errorf("shards=%d answers differ from shards=1", shards)
+			}
+			if e.Computes() != refComputes {
+				t.Errorf("shards=%d ran %d computes, shards=1 ran %d", shards, e.Computes(), refComputes)
+			}
+		}
+		st := e.CacheDetail()
+		if e.Shards() != len(st.Shards) {
+			t.Errorf("Shards() = %d but CacheDetail holds %d", e.Shards(), len(st.Shards))
+		}
+		sum := 0
+		for _, s := range st.Shards {
+			sum += s.Entries
+		}
+		if sum != st.Entries {
+			t.Errorf("shards=%d: per-shard entries sum %d != total %d", shards, sum, st.Entries)
+		}
 	}
 }
 
@@ -254,6 +284,11 @@ func TestMetricsRender(t *testing.T) {
 		`fpsping_request_errors_total{endpoint="/v1/rtt"} 1`,
 		`fpsping_cache_hits_total{endpoint="/v1/rtt"} 1`,
 		`fpsping_request_latency_seconds_count{endpoint="/v1/rtt"} 3`,
+		// The global aggregate renders the same families unlabeled.
+		"fpsping_requests_total 3\n",
+		"fpsping_cache_hits_total 1\n",
+		"fpsping_request_latency_seconds_count 3\n",
+		`fpsping_request_latency_seconds{quantile="0.5"}`,
 		`fpsping_uptime_seconds`,
 	} {
 		if !strings.Contains(out, want) {

@@ -10,7 +10,8 @@ import (
 	"fpsping/internal/stats"
 )
 
-// metricLevels are the latency quantiles /metrics reports per endpoint.
+// metricLevels are the latency quantiles /metrics reports per endpoint (and
+// globally).
 var metricLevels = []float64{0.5, 0.9, 0.99}
 
 // endpointStats accumulates one endpoint's counters and latency sketch. The
@@ -25,37 +26,21 @@ type endpointStats struct {
 	quantiles []*stats.PQuantile
 }
 
-// Metrics is the daemon's concurrency-safe instrumentation: per-endpoint
-// request/error/cache-hit counters and streaming latency histograms,
-// rendered in Prometheus text exposition format.
-type Metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	endpoints map[string]*endpointStats
-}
-
-// NewMetrics returns an empty metrics registry.
-func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
-}
-
-// Observe records one request against the endpoint: its latency, whether it
-// was answered from the engine cache, and whether it failed.
-func (m *Metrics) Observe(endpoint string, elapsed time.Duration, cached bool, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	es, ok := m.endpoints[endpoint]
-	if !ok {
-		es = &endpointStats{}
-		for _, p := range metricLevels {
-			pq, err := stats.NewPQuantile(p)
-			if err != nil {
-				panic("service: metric level out of range: " + err.Error())
-			}
-			es.quantiles = append(es.quantiles, pq)
+// newEndpointStats returns a tracker with one P² estimator per level.
+func newEndpointStats() *endpointStats {
+	es := &endpointStats{}
+	for _, p := range metricLevels {
+		pq, err := stats.NewPQuantile(p)
+		if err != nil {
+			panic("service: metric level out of range: " + err.Error())
 		}
-		m.endpoints[endpoint] = es
+		es.quantiles = append(es.quantiles, pq)
 	}
+	return es
+}
+
+// observe folds one request into the tracker.
+func (es *endpointStats) observe(elapsed time.Duration, cached, failed bool) {
 	es.requests++
 	if failed {
 		es.errors++
@@ -70,8 +55,72 @@ func (m *Metrics) Observe(endpoint string, elapsed time.Duration, cached bool, f
 	}
 }
 
-// WriteTo renders the metrics in Prometheus text exposition format. Output
-// is sorted by endpoint so scrapes are stable.
+// Metrics is the daemon's concurrency-safe instrumentation: per-endpoint
+// request/error/cache-hit counters and streaming latency histograms — each
+// model endpoint gets its own Welford/P² tracker alongside a global one over
+// all instrumented traffic — rendered in Prometheus text exposition format.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	global    *endpointStats
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		global:    newEndpointStats(),
+		endpoints: make(map[string]*endpointStats),
+	}
+}
+
+// Observe records one request against the endpoint (and the global
+// aggregate): its latency, whether it was answered from the engine cache,
+// and whether it failed.
+func (m *Metrics) Observe(endpoint string, elapsed time.Duration, cached bool, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		es = newEndpointStats()
+		m.endpoints[endpoint] = es
+	}
+	es.observe(elapsed, cached, failed)
+	m.global.observe(elapsed, cached, failed)
+}
+
+// writeLatency renders one tracker's summary pair and quantile samples.
+// labels is the rendered label set including braces ("" for the global
+// aggregate, `{endpoint="/v1/rtt"}` per endpoint).
+func writeLatency(printf func(string, ...any) error, labels string, es *endpointStats) error {
+	if es.latency.Count() == 0 {
+		return nil
+	}
+	if err := printf("fpsping_request_latency_seconds_sum%s %g\n",
+		labels, es.latency.Mean()*float64(es.latency.Count())); err != nil {
+		return err
+	}
+	if err := printf("fpsping_request_latency_seconds_count%s %d\n",
+		labels, es.latency.Count()); err != nil {
+		return err
+	}
+	for i, p := range metricLevels {
+		q := fmt.Sprintf(`quantile="%g"`, p)
+		sep := "{" + q + "}"
+		if labels != "" {
+			sep = labels[:len(labels)-1] + "," + q + "}"
+		}
+		if err := printf("fpsping_request_latency_seconds%s %g\n", sep, es.quantiles[i].Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format: the
+// global request/latency aggregate first (unlabeled), then every endpoint
+// sorted by name so scrapes are stable.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -84,6 +133,20 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if err := printf("# TYPE fpsping_uptime_seconds gauge\nfpsping_uptime_seconds %.3f\n",
 		time.Since(m.start).Seconds()); err != nil {
 		return n, err
+	}
+	if m.global.requests > 0 {
+		if err := printf("fpsping_requests_total %d\n", m.global.requests); err != nil {
+			return n, err
+		}
+		if err := printf("fpsping_request_errors_total %d\n", m.global.errors); err != nil {
+			return n, err
+		}
+		if err := printf("fpsping_cache_hits_total %d\n", m.global.cacheHits); err != nil {
+			return n, err
+		}
+		if err := writeLatency(printf, "", m.global); err != nil {
+			return n, err
+		}
 	}
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {
@@ -101,21 +164,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		if err := printf("fpsping_cache_hits_total{endpoint=%q} %d\n", name, es.cacheHits); err != nil {
 			return n, err
 		}
-		if es.latency.Count() > 0 {
-			if err := printf("fpsping_request_latency_seconds_sum{endpoint=%q} %g\n",
-				name, es.latency.Mean()*float64(es.latency.Count())); err != nil {
-				return n, err
-			}
-			if err := printf("fpsping_request_latency_seconds_count{endpoint=%q} %d\n",
-				name, es.latency.Count()); err != nil {
-				return n, err
-			}
-			for i, p := range metricLevels {
-				if err := printf("fpsping_request_latency_seconds{endpoint=%q,quantile=\"%g\"} %g\n",
-					name, p, es.quantiles[i].Value()); err != nil {
-					return n, err
-				}
-			}
+		if err := writeLatency(printf, fmt.Sprintf("{endpoint=%q}", name), es); err != nil {
+			return n, err
 		}
 	}
 	return n, nil

@@ -424,30 +424,55 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) (bool, err
 type Health struct {
 	Status       string `json:"status"`
 	Jobs         int    `json:"jobs"`
+	CacheShards  int    `json:"cache_shards"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
-	// Computations counts core model evaluations actually run; with
-	// singleflight it moves by one per distinct cold question however many
-	// clients race for it.
+	// CacheEvictions counts entries dropped to capacity pressure, summed
+	// over shards.
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// Computations counts core model evaluations actually run: one per cold
+	// RTT, one per cold sweep or dimensioning bisection point. Singleflight
+	// keeps it independent of how many clients race for the same cold
+	// question — K identical concurrent requests add what one would.
 	Computations uint64 `json:"computations"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	entries, hits, misses := s.engine.CacheStats()
+	st := s.engine.CacheDetail()
 	writeJSON(w, http.StatusOK, Health{
-		Status:       "ok",
-		Jobs:         s.engine.Jobs(),
-		CacheEntries: entries,
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		Computations: s.engine.Computes(),
+		Status:         "ok",
+		Jobs:           s.engine.Jobs(),
+		CacheShards:    len(st.Shards),
+		CacheEntries:   st.Entries,
+		CacheHits:      st.Hits,
+		CacheMisses:    st.Misses,
+		CacheEvictions: st.Evictions,
+		Computations:   s.engine.Computes(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.engine.Metrics().WriteTo(w)
+	s.writeCacheMetrics(w)
+}
+
+// writeCacheMetrics renders the engine cache gauges: shard count, total and
+// per-shard occupancy, and the aggregated lookup/eviction counters. Lookup
+// hits and misses count cache probes (joiners of an in-flight computation
+// count as misses), unlike fpsping_cache_hits_total, which counts requests
+// answered without computing.
+func (s *Server) writeCacheMetrics(w io.Writer) {
+	st := s.engine.CacheDetail()
+	fmt.Fprintf(w, "# TYPE fpsping_cache_shards gauge\nfpsping_cache_shards %d\n", len(st.Shards))
+	fmt.Fprintf(w, "# TYPE fpsping_cache_entries gauge\nfpsping_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "fpsping_cache_lookup_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "fpsping_cache_lookup_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "fpsping_cache_evictions_total %d\n", st.Evictions)
+	for i, sh := range st.Shards {
+		fmt.Fprintf(w, "fpsping_cache_shard_entries{shard=\"%d\"} %d\n", i, sh.Entries)
+	}
 }
 
 func hitOrMiss(cached bool) string {

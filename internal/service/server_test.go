@@ -262,9 +262,26 @@ func TestModelsHealthzMetrics(t *testing.T) {
 		`fpsping_requests_total{endpoint="/v1/rtt"} 2`,
 		`fpsping_cache_hits_total{endpoint="/v1/rtt"} 1`,
 		`fpsping_requests_total{endpoint="/v1/models"} 1`,
+		// The sharded-cache gauges: the two rtt entries (full result +
+		// sweep point) live somewhere across the shards.
+		"fpsping_cache_shards ",
+		"fpsping_cache_entries 2",
+		`fpsping_cache_shard_entries{shard="0"}`,
+		"fpsping_cache_lookup_hits_total 1",
+		"fpsping_cache_lookup_misses_total 1",
+		"fpsping_cache_evictions_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q:\n%s", want, out)
 		}
+	}
+	// healthz reports the same shard layout.
+	var h Health
+	_, data = do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheShards < 1 || h.CacheEntries != 2 || h.CacheEvictions != 0 {
+		t.Errorf("healthz cache fields: %+v", h)
 	}
 }

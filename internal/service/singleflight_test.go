@@ -3,7 +3,9 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fpsping/internal/core"
@@ -134,6 +136,128 @@ func TestSweepSharesRTTPointMemo(t *testing.T) {
 		if p != wide.Points[i+1] {
 			t.Errorf("sub-grid point %d = %+v, want %+v", i, p, wide.Points[i+1])
 		}
+	}
+}
+
+// TestDimensionReusesPointMemo pins cache-aware dimensioning: every
+// quantile inversion inside the MaxLoad bisection resolves through the
+// shared "pt|" point memo instead of bypassing it. Three consequences are
+// asserted via the computes counter: the final quantile evaluation at the
+// accepted load is a hit (it was probed during the bisection), a sweep that
+// crossed a probe load pre-pays that probe, and a second dimensioning at a
+// different bound shares the opening probes and the common midpoint prefix.
+func TestDimensionReusesPointMemo(t *testing.T) {
+	sc := scenario.Default()
+
+	// Cold reference: every bisection point is one compute; the closing
+	// evaluation at the accepted load re-asks a probed point, so it adds
+	// nothing.
+	cold := NewEngine(2, 0)
+	ref, cached, err := cold.Dimension(sc, 50)
+	if err != nil || cached {
+		t.Fatalf("cold dimension: cached=%v err=%v", cached, err)
+	}
+	coldComputes := cold.Computes()
+	if coldComputes < 3 {
+		t.Fatalf("cold dimension ran %d computes; the bisection should probe many points", coldComputes)
+	}
+
+	// A sweep that crossed the bisection's opening probe (the vanishing
+	// load 1e-6) pre-pays it: dimension after that sweep computes exactly
+	// one point fewer, and lands on the identical answer.
+	warmed := NewEngine(2, 0)
+	if _, _, err := warmed.Sweep(sc, 1e-6, 1e-6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := warmed.Computes(); got != 1 {
+		t.Fatalf("single-point sweep ran %d computes", got)
+	}
+	res, _, err := warmed.Dimension(sc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != ref {
+		t.Errorf("memo-warmed dimension differs: %+v vs %+v", res, ref)
+	}
+	if got := warmed.Computes(); got != coldComputes {
+		t.Errorf("dimension after sweep brought computes to %d, want %d (the swept point must hit)",
+			got, coldComputes)
+	}
+
+	// A second bound on the cold engine shares the opening probes and the
+	// midpoint prefix up to the first diverging comparison.
+	if _, cached, err := cold.Dimension(sc, 60); err != nil || cached {
+		t.Fatalf("second bound: cached=%v err=%v", cached, err)
+	}
+	added := cold.Computes() - coldComputes
+	if added >= coldComputes {
+		t.Errorf("dimensioning a second bound added %d computes, want fewer than the %d of a cold run",
+			added, coldComputes)
+	}
+
+	// The identical question is one lookup.
+	before := cold.Computes()
+	if _, cached, err := cold.Dimension(sc, 50); err != nil || !cached {
+		t.Fatalf("warm dimension: cached=%v err=%v", cached, err)
+	}
+	if got := cold.Computes(); got != before {
+		t.Errorf("warm dimension ran %d new computes", got-before)
+	}
+}
+
+// TestEngineContentionStress hammers one engine from 4x GOMAXPROCS
+// goroutines with a mixed hot/cold scenario workload. Whatever the
+// interleaving, the compute counter must land exactly on the number of
+// distinct scenarios (memoization plus singleflight: no duplicate work, no
+// lost work) and the sharded cache's per-stripe accounting must add up. Run
+// under -race this doubles as the engine's contention-safety proof.
+func TestEngineContentionStress(t *testing.T) {
+	e := NewEngine(4, 0)
+	workers := 4 * runtime.GOMAXPROCS(0)
+	const hot = 4 // shared by every worker: mostly hits after first touch
+	distinctCold := workers / 2
+	scAt := func(i int) scenario.Scenario {
+		return testScenario(0.05 + 0.01*float64(i))
+	}
+	var wg sync.WaitGroup
+	var calls atomic.Uint64
+	gate := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-gate
+			for i := 0; i < 12; i++ {
+				var sc scenario.Scenario
+				if i%3 == 0 {
+					// Cold-ish keys, each contended by a pair of workers.
+					sc = scAt(hot + w%distinctCold)
+				} else {
+					sc = scAt(i % hot)
+				}
+				calls.Add(1)
+				if _, _, err := e.RTT(sc); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(gate)
+	wg.Wait()
+
+	distinct := uint64(hot + distinctCold)
+	if got := e.Computes(); got != distinct {
+		t.Errorf("Computes() = %d, want %d (one per distinct scenario)", got, distinct)
+	}
+	st := e.CacheDetail()
+	// Each RTT compute inserts two entries (rtt| and pt|); nothing may be
+	// lost or double-counted across shards.
+	if uint64(st.Entries)+st.Evictions != 2*distinct {
+		t.Errorf("entries %d + evictions %d != %d inserts", st.Entries, st.Evictions, 2*distinct)
+	}
+	if st.Hits+st.Misses != calls.Load() {
+		t.Errorf("hits %d + misses %d != %d lookups", st.Hits, st.Misses, calls.Load())
 	}
 }
 
