@@ -28,6 +28,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +47,7 @@ type config struct {
 	cacheSize int
 	shards    int
 	drain     time.Duration
+	pprofAddr string
 }
 
 // parseFlags parses and validates the command line. Nonsensical values are a
@@ -61,6 +65,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.IntVar(&cfg.shards, "shards", 0,
 		"memo cache shard count, rounded up to a power of two (0 = GOMAXPROCS-rounded)")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
+	fs.StringVar(&cfg.pprofAddr, "pprof", "",
+		"serve net/http/pprof on this address (host:port; empty = disabled). Keep it loopback-only: the profiler is unauthenticated.")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -102,6 +108,25 @@ func run(cfg config) error {
 	}
 	log.Printf("fpspingd: listening on http://%s (jobs=%d cache=%d shards=%d)",
 		srv.Addr(), cfg.jobs, cfg.cacheSize, engine.Shards())
+
+	// The profiler gets its own listener and mux, never the service port: it
+	// is off by default, unauthenticated when on, and must not change the
+	// service API surface. A bad -pprof address is a startup error, not a
+	// background log line.
+	if cfg.pprofAddr != "" {
+		ln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("fpspingd: pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }() // lives and dies with the process
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

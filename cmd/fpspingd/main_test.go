@@ -17,6 +17,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.addr != "127.0.0.1:7900" || cfg.shards != 0 || cfg.drain != 10*time.Second {
 		t.Errorf("defaults = %+v", cfg)
 	}
+	if cfg.pprofAddr != "" {
+		t.Errorf("pprof is on by default: %+v", cfg)
+	}
 	if cfg.jobs < 1 || cfg.cacheSize < 1 {
 		t.Errorf("defaults = %+v", cfg)
 	}
@@ -28,6 +31,16 @@ func TestParseFlagsShards(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cfg.shards != 16 || cfg.cacheSize != 1024 || cfg.jobs != 4 {
+		t.Errorf("parsed = %+v", cfg)
+	}
+}
+
+func TestParseFlagsPprof(t *testing.T) {
+	cfg, err := parseFlags([]string{"-pprof", "127.0.0.1:6060"}, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.pprofAddr != "127.0.0.1:6060" {
 		t.Errorf("parsed = %+v", cfg)
 	}
 }

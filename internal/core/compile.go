@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sync"
+
+	"fpsping/internal/mgf"
+)
+
+// This file is the staged evaluation pipeline: everything expensive about a
+// scenario — queue construction, M/E_K/1 and D/E_K/1 root solving, the
+// Appendix-A convolution of the three delay factors — happens once, in
+// Compile, and the result is a value cheap to evaluate many times. The
+// pipeline has three stages with distinct lifetimes:
+//
+//	Model           parameters only; free to copy and mutate
+//	CompiledModel   factors + combined law, built by Compile
+//	evaluations     Quantile/Tail/Mean over the compiled law
+//
+// Front ends cache CompiledModels (the daemon keeps them in its point memo),
+// and monotone walks (load sweeps, dimensioning bisections) additionally
+// thread an mgf.TailHint through successive quantile inversions so each
+// point's bracket search starts from its neighbour's answer.
+
+// CompiledLaw pairs a delay law with a per-level cache of solved quantiles.
+// It is safe for concurrent use: the underlying laws are immutable and the
+// cache is mutex-guarded, so a CompiledLaw can live in a shared memo entry.
+type CompiledLaw struct {
+	law mgf.Law
+
+	mu     sync.Mutex
+	solved map[float64]float64 // quantile level -> queueing-delay quantile
+}
+
+// NewCompiledLaw wraps a delay law for repeated evaluation.
+func NewCompiledLaw(l mgf.Law) *CompiledLaw {
+	return &CompiledLaw{law: l, solved: make(map[float64]float64)}
+}
+
+// Law returns the underlying delay law.
+func (c *CompiledLaw) Law() mgf.Law { return c.law }
+
+// Tail returns P(D > x) for the queueing delay D.
+func (c *CompiledLaw) Tail(x float64) float64 { return c.law.Tail(x) }
+
+// Mean returns E[D].
+func (c *CompiledLaw) Mean() float64 { return c.law.Mean() }
+
+// Quantile returns the queueing-delay quantile at level p: a cold
+// QuantileWarm.
+func (c *CompiledLaw) Quantile(p float64) (float64, error) {
+	return c.QuantileWarm(p, nil)
+}
+
+// QuantileWarm is Quantile with an optional warm-start hint threaded through
+// the inversion (see mgf.TailHint). Solved levels are cached; a cache hit
+// still updates the hint, so a sweep that re-visits a memoized point keeps
+// warm-starting the next one. Warm and cold inversions are bit-identical, so
+// the cache and the hint change only the cost of an answer, never its value.
+func (c *CompiledLaw) QuantileWarm(p float64, hint *mgf.TailHint) (float64, error) {
+	c.mu.Lock()
+	q, ok := c.solved[p]
+	c.mu.Unlock()
+	if !ok {
+		var err error
+		q, err = lawQuantileHint(c.law, p, hint)
+		if err != nil {
+			return 0, err
+		}
+		c.mu.Lock()
+		c.solved[p] = q
+		c.mu.Unlock()
+		return q, nil
+	}
+	if hint != nil && q > 0 {
+		hint.Set(q)
+	}
+	return q, nil
+}
+
+// CompiledModel is a scenario with its analytic pipeline fully staged: the
+// three delay-factor mixes of eq. (35) and their combined law, ready for
+// repeated quantile/tail/mean evaluation. Build one with Model.Compile. A
+// CompiledModel is safe for concurrent use.
+type CompiledModel struct {
+	// Model echoes the compiled scenario parameters (read-only by convention:
+	// mutating them does not recompile).
+	Model Model
+
+	du, w, p mgf.Mix
+	law      *CompiledLaw
+}
+
+// Compile runs the expensive stages of the pipeline once: validates the
+// scenario, builds the upstream M/D/1 and downstream D/E_K/1 factor mixes
+// (factorMixes) and combines them into the total queueing-delay law
+// (combineLaw). Everything after this is cheap arithmetic over the result.
+func (m Model) Compile() (*CompiledModel, error) {
+	du, w, p, err := m.factorMixes()
+	if err != nil {
+		return nil, err
+	}
+	law, err := combineLaw(du, w, p)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledModel{Model: m, du: du, w: w, p: p, law: NewCompiledLaw(law)}, nil
+}
+
+// Law returns the compiled total-delay law.
+func (cm *CompiledModel) Law() *CompiledLaw { return cm.law }
+
+// RTTQuantile returns the RTT quantile (seconds): the queueing-delay
+// quantile plus the deterministic part, exactly as Model.RTTQuantile.
+func (cm *CompiledModel) RTTQuantile() (float64, error) {
+	return cm.RTTQuantileWarm(nil)
+}
+
+// RTTQuantileWarm is RTTQuantile with a warm-start hint for the quantile
+// inversion; sweeps thread one hint through consecutive loads.
+func (cm *CompiledModel) RTTQuantileWarm(hint *mgf.TailHint) (float64, error) {
+	q, err := cm.law.QuantileWarm(cm.Model.quantile(), hint)
+	if err != nil {
+		return 0, err
+	}
+	return q + cm.Model.FixedPart(), nil
+}
+
+// RTTTail returns P(RTT > d).
+func (cm *CompiledModel) RTTTail(d float64) (float64, error) {
+	x := d - cm.Model.FixedPart()
+	if x < 0 {
+		return 1, nil
+	}
+	return cm.law.Tail(x), nil
+}
+
+// MeanRTT returns the mean round trip time.
+func (cm *CompiledModel) MeanRTT() (float64, error) {
+	return cm.law.Mean() + cm.Model.FixedPart(), nil
+}
+
+// Decompose evaluates each delay component's quantile in isolation plus the
+// true total, reusing the compiled factors instead of rebuilding the queues.
+func (cm *CompiledModel) Decompose() (Components, error) {
+	m := cm.Model
+	c := Components{
+		Serialization: m.SerializationDelay(),
+		Fixed:         m.FixedDelay,
+	}
+	p := m.quantile()
+	var err error
+	if c.Upstream, err = quantileOrZero(cm.du, p); err != nil {
+		return c, err
+	}
+	if c.BurstWait, err = quantileOrZero(cm.w, p); err != nil {
+		return c, err
+	}
+	if c.Position, err = quantileOrZero(cm.p, p); err != nil {
+		return c, err
+	}
+	if c.Total, err = cm.RTTQuantile(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fpsping/internal/mgf"
+)
+
+// TestCompiledMatchesModel pins that every compiled evaluator returns
+// exactly the bits of the corresponding one-shot Model method.
+func TestCompiledMatchesModel(t *testing.T) {
+	for _, k := range []int{9, 20} {
+		m := figure3Model(k).WithDownlinkLoad(0.5)
+		cm, err := m.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantQ, err := m.RTTQuantile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotQ, err := cm.RTTQuantile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotQ != wantQ {
+			t.Errorf("K=%d: compiled quantile %v != model %v", k, gotQ, wantQ)
+		}
+		wantMean, err := m.MeanRTT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMean, err := cm.MeanRTT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMean != wantMean {
+			t.Errorf("K=%d: compiled mean %v != model %v", k, gotMean, wantMean)
+		}
+		d := wantQ * 0.8
+		wantTail, err := m.RTTTail(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTail, err := cm.RTTTail(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTail != wantTail {
+			t.Errorf("K=%d: compiled tail %v != model %v", k, gotTail, wantTail)
+		}
+		wantC, err := m.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := cm.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotC != wantC {
+			t.Errorf("K=%d: compiled decomposition %+v != model %+v", k, gotC, wantC)
+		}
+	}
+}
+
+// TestWarmStartBitIdentical is the warm-start property test: walking a load
+// grid with one mgf.TailHint threaded through consecutive quantile
+// inversions (the SweepLoads discipline) must return exactly the bits of
+// independent per-point inversions — across the paper's grid, seeded random
+// grids, and a deliberately unsorted grid (the hint is verified by a probe,
+// so correctness never depends on the walk being monotone).
+func TestWarmStartBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grids := [][]float64{PaperLoadGrid()}
+	for g := 0; g < 3; g++ {
+		grid := make([]float64, 12)
+		for i := range grid {
+			grid[i] = 0.03 + 0.87*rng.Float64()
+		}
+		sort.Float64s(grid)
+		grids = append(grids, grid)
+	}
+	grids = append(grids, []float64{0.5, 0.1, 0.8, 0.3, 0.9, 0.05, 0.6})
+	for _, k := range []int{9, 20} {
+		m := figure3Model(k)
+		for gi, grid := range grids {
+			var hint mgf.TailHint
+			for _, rho := range grid {
+				at := m.WithDownlinkLoad(rho)
+				cm, err := at.Compile()
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: %v", k, gi, rho, err)
+				}
+				warm, err := cm.RTTQuantileWarm(&hint)
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: warm: %v", k, gi, rho, err)
+				}
+				cold, err := at.RTTQuantile()
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: cold: %v", k, gi, rho, err)
+				}
+				if warm != cold {
+					t.Errorf("K=%d grid %d rho=%v: warm %v != cold %v (diff %g)",
+						k, gi, rho, warm, cold, warm-cold)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepLoadsWarmMatchesParallel pins the same property end to end:
+// the serial sweep (hint threaded) and the parallel sweep (independent
+// points) must produce identical series.
+func TestSweepLoadsWarmMatchesParallel(t *testing.T) {
+	m := figure3Model(9)
+	loads := PaperLoadGrid()
+	serial, err := m.SweepLoads(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := m.SweepLoadsParallel(loads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d points, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestCompiledEvaluatorAllocs is the allocation contract of the evaluate-
+// many path: once a level is solved, re-evaluating the compiled quantile
+// allocates nothing.
+func TestCompiledEvaluatorAllocs(t *testing.T) {
+	cm, err := figure3Model(9).WithDownlinkLoad(0.5).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.RTTQuantile(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := cm.RTTQuantile(); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("compiled RTTQuantile allocates %v per run after solve, want 0", allocs)
+	}
+}
+
+// BenchmarkModelCompiledVsCold measures the two ends of the pipeline: cold
+// is the full per-call recomputation (queues, roots, convolution,
+// inversion), compiled is the evaluate-many path over a staged model.
+func BenchmarkModelCompiledVsCold(b *testing.B) {
+	m := figure3Model(9).WithDownlinkLoad(0.5)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.RTTQuantile(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		cm, err := m.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cm.RTTQuantile(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cm.RTTQuantile(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepPaperGridCold measures a cold paper-figure sweep: warm is
+// the serial walk with the hint threaded through (SweepLoads), independent
+// re-inverts every point from scratch (the parallel evaluator at one
+// worker). The gap is the warm start's worth.
+func BenchmarkSweepPaperGridCold(b *testing.B) {
+	m := figure3Model(9)
+	loads := PaperLoadGrid()
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SweepLoads(loads); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SweepLoadsParallel(loads, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -123,6 +123,10 @@ func (m Model) quantile() float64 {
 	return DefaultQuantile
 }
 
+// QuantileLevel returns the effective quantile level: Quantile when set,
+// DefaultQuantile otherwise.
+func (m Model) QuantileLevel() float64 { return m.quantile() }
+
 // DownlinkLoad returns eq. (37): rho_d = 8*N*PS/(T*C).
 func (m Model) DownlinkLoad() float64 {
 	return 8 * m.Gamers * m.ServerPacketBytes / (m.BurstInterval * m.AggregateRate)
@@ -221,52 +225,52 @@ func (m Model) DelayLaw() (mgf.Law, error) {
 }
 
 // lawQuantile inverts a Law's tail (both Mix and Sum provide Quantile; this
-// helper keeps the call sites uniform).
+// helper keeps the call sites uniform): a cold lawQuantileHint.
 func lawQuantile(l mgf.Law, p float64) (float64, error) {
+	return lawQuantileHint(l, p, nil)
+}
+
+// lawQuantileHint is lawQuantile with an optional warm-start hint (see
+// mgf.TailHint).
+func lawQuantileHint(l mgf.Law, p float64, hint *mgf.TailHint) (float64, error) {
 	switch v := l.(type) {
 	case mgf.Mix:
-		return v.Quantile(p)
+		return v.QuantileHint(p, hint)
 	case mgf.Sum:
-		return v.Quantile(p)
+		return v.QuantileHint(p, hint)
 	default:
 		return 0, fmt.Errorf("core: unknown law type %T", l)
 	}
 }
 
 // RTTQuantile returns the RTT quantile (seconds): the queueing-delay quantile
-// plus the deterministic part. This is the paper's headline metric.
+// plus the deterministic part. This is the paper's headline metric. One-shot
+// form of Compile().RTTQuantile(); callers needing several evaluations of
+// the same scenario should hold the CompiledModel.
 func (m Model) RTTQuantile() (float64, error) {
-	law, err := m.DelayLaw()
+	cm, err := m.Compile()
 	if err != nil {
 		return 0, err
 	}
-	q, err := lawQuantile(law, m.quantile())
-	if err != nil {
-		return 0, err
-	}
-	return q + m.FixedPart(), nil
+	return cm.RTTQuantile()
 }
 
 // RTTTail returns P(RTT > d).
 func (m Model) RTTTail(d float64) (float64, error) {
-	law, err := m.DelayLaw()
+	cm, err := m.Compile()
 	if err != nil {
 		return 0, err
 	}
-	x := d - m.FixedPart()
-	if x < 0 {
-		return 1, nil
-	}
-	return law.Tail(x), nil
+	return cm.RTTTail(d)
 }
 
 // MeanRTT returns the mean round trip time.
 func (m Model) MeanRTT() (float64, error) {
-	law, err := m.DelayLaw()
+	cm, err := m.Compile()
 	if err != nil {
 		return 0, err
 	}
-	return law.Mean() + m.FixedPart(), nil
+	return cm.MeanRTT()
 }
 
 // Components decomposes the RTT quantile into its constituents, each
@@ -284,50 +288,14 @@ type Components struct {
 }
 
 // Decompose evaluates each delay component's quantile in isolation plus the
-// true total.
+// true total: a one-shot Compile().Decompose(), so the queues are built and
+// the factors combined exactly once.
 func (m Model) Decompose() (Components, error) {
-	var c Components
-	if err := m.Validate(); err != nil {
-		return c, err
-	}
-	c.Serialization = m.SerializationDelay()
-	c.Fixed = m.FixedDelay
-	p := m.quantile()
-
-	up, err := m.Upstream()
+	cm, err := m.Compile()
 	if err != nil {
-		return c, err
+		return Components{}, err
 	}
-	du, err := up.WaitMixPaper()
-	if err != nil {
-		return c, err
-	}
-	if c.Upstream, err = quantileOrZero(du, p); err != nil {
-		return c, err
-	}
-
-	down, err := m.Downstream()
-	if err != nil {
-		return c, err
-	}
-	w, err := down.WaitMix()
-	if err != nil {
-		return c, err
-	}
-	if c.BurstWait, err = quantileOrZero(w, p); err != nil {
-		return c, err
-	}
-	pos, err := down.PositionMixUniform()
-	if err != nil {
-		return c, err
-	}
-	if c.Position, err = quantileOrZero(pos, p); err != nil {
-		return c, err
-	}
-	if c.Total, err = m.RTTQuantile(); err != nil {
-		return c, err
-	}
-	return c, nil
+	return cm.Decompose()
 }
 
 func quantileOrZero(mix mgf.Mix, p float64) (float64, error) {

@@ -81,7 +81,13 @@ func (ms MultiServer) DelayLaw() (mgf.Law, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: multiserver downstream: %w", err)
 	}
-	w, err := down.WaitMix()
+	// One root solve of the M/E_K/1 denominator serves the waiting law (the
+	// position law depends only on the burst-size parameters).
+	sol, err := down.Solve()
+	if err != nil {
+		return nil, err
+	}
+	w, err := sol.WaitMix()
 	if err != nil {
 		return nil, err
 	}
@@ -92,13 +98,25 @@ func (ms MultiServer) DelayLaw() (mgf.Law, error) {
 	return combineLaw(du, w, p)
 }
 
+// Compile stages the multi-server pipeline once: the combined delay law is
+// wrapped for repeated quantile/tail/mean evaluation, so callers needing
+// both a quantile and a mean (the experiments' study tables) build the law a
+// single time.
+func (ms MultiServer) Compile() (*CompiledLaw, error) {
+	law, err := ms.DelayLaw()
+	if err != nil {
+		return nil, err
+	}
+	return NewCompiledLaw(law), nil
+}
+
 // RTTQuantile returns the RTT quantile including the deterministic part.
 func (ms MultiServer) RTTQuantile() (float64, error) {
-	law, err := ms.DelayLaw()
+	cl, err := ms.Compile()
 	if err != nil {
 		return 0, err
 	}
-	q, err := lawQuantile(law, ms.PerServer.quantile())
+	q, err := cl.Quantile(ms.PerServer.quantile())
 	if err != nil {
 		return 0, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"fpsping/internal/mgf"
 	"fpsping/internal/runner"
 )
 
@@ -19,19 +20,30 @@ type SweepPoint struct {
 // SweepLoads evaluates the RTT quantile across the given downlink loads,
 // producing the series behind the paper's figures. Loads at or beyond a
 // stability limit are skipped (the curves' vertical asymptote).
+//
+// The walk threads one mgf.TailHint through consecutive points: the loads
+// are (in every caller) monotone, so each point's quantile inversion
+// warm-starts its bracket search from the previous answer. Warm starts are
+// bit-exact (see mgf.TailHint), so the points are identical to independent
+// per-point evaluation — SweepLoadsParallel relies on exactly that.
 func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("%w: empty load list", ErrBadModel)
 	}
 	out := make([]SweepPoint, 0, len(loads))
+	var hint mgf.TailHint
 	for _, rho := range loads {
 		if !(rho > 0) {
 			return nil, fmt.Errorf("%w: load %g", ErrBadModel, rho)
 		}
 		at := m.WithDownlinkLoad(rho)
-		rtt, err := at.RTTQuantile()
+		cm, err := at.Compile()
 		if err != nil {
 			// Stop at the first unstable point: the asymptote.
+			break
+		}
+		rtt, err := cm.RTTQuantileWarm(&hint)
+		if err != nil {
 			break
 		}
 		out = append(out, SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt})

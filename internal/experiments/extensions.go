@@ -60,25 +60,33 @@ func MultiServerStudy(jobs int) (MultiServerResult, error) {
 			per.ErlangOrder = 9
 			per.Gamers = total / float64(servers)
 
+			// Each row compiles its delay law once; quantile and mean are
+			// evaluations over the compiled pipeline, not separate rebuilds.
 			var c cell
 			var q, mean float64
-			var err error
 			if servers == 1 {
-				if q, err = per.RTTQuantile(); err != nil {
+				cm, err := per.Compile()
+				if err != nil {
 					return c, err
 				}
-				if mean, err = per.MeanRTT(); err != nil {
+				if q, err = cm.RTTQuantile(); err != nil {
+					return c, err
+				}
+				if mean, err = cm.MeanRTT(); err != nil {
 					return c, err
 				}
 				c.load = per.DownlinkLoad()
 			} else {
 				ms := core.MultiServer{PerServer: per, Servers: servers}
-				if q, err = ms.RTTQuantile(); err != nil {
+				cl, err := ms.Compile()
+				if err != nil {
 					return c, err
 				}
-				if mean, err = ms.MeanRTT(); err != nil {
+				if q, err = cl.Quantile(per.QuantileLevel()); err != nil {
 					return c, err
 				}
+				q += per.FixedPart()
+				mean = cl.Mean() + per.FixedPart()
 			}
 			c.row = MultiServerRow{
 				Servers:       servers,

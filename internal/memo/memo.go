@@ -143,6 +143,22 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return el.Value.(*entry[V]).val, true
 }
 
+// Peek returns the cached value without side effects: no hit/miss counting
+// and no recency update. It is for opportunistic reuse of auxiliary state a
+// value may carry (a compiled pipeline, a derived table) where a plain Get
+// would distort the client-visible cache statistics.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(*entry[V]).val, true
+}
+
 // Put stores a value, evicting the shard's least recently used entries when
 // its slice of the capacity is full.
 func (c *Cache[V]) Put(key string, val V) {

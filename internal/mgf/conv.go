@@ -1,7 +1,6 @@
 package mgf
 
 import (
-	"fmt"
 	"math"
 	"math/cmplx"
 )
@@ -89,8 +88,23 @@ func (s Sum) TotalMass() float64 { return s.A.TotalMass() * s.B.TotalMass() }
 //	A.Atom*B.Tail(x) + A.Tail(x) + int_0^x pdfA(u) B.Tail(x-u) du,
 //
 // the last term by composite Simpson quadrature with resolution tied to the
-// sharpest decay rate of A.
-func (s Sum) Tail(x float64) float64 {
+// sharpest decay rate of A. One-shot form of TailWS.
+func (s Sum) Tail(x float64) float64 { return s.TailWS(x, nil) }
+
+// expResetStride is how many recurrence steps the grid evaluators take
+// between exact cmplx.Exp re-anchors: the multiplicative error grows like
+// stride*eps, so 64 keeps each grid value within ~1.5e-14 of direct
+// evaluation while paying for one transcendental per 64 panels.
+const expResetStride = 64
+
+// TailWS is Tail with the Simpson grids drawn from ws (nil borrows a pooled
+// workspace). When B is a closed-form Mix, the integrand factors are filled
+// on the whole grid with exponential recurrences —
+// e^{-p u_{i+1}} = e^{-p u_i} · e^{-p h} — re-anchored by an exact cmplx.Exp
+// every expResetStride steps; that removes the per-panel cmplx.Exp that
+// dominates the cold-path profile. A nested-Sum B falls back to the
+// point-by-point walk.
+func (s Sum) TailWS(x float64, ws *Workspace) float64 {
 	if x < 0 {
 		return s.TotalMass()
 	}
@@ -119,52 +133,112 @@ func (s Sum) Tail(x float64) float64 {
 		n++
 	}
 	h := x / float64(n)
-	f := func(u float64) float64 { return s.A.PDF(u) * s.B.Tail(x-u) }
-	acc := f(0) + f(x)
+	bmix, fast := s.B.(Mix)
+	if !fast {
+		// B evaluates by its own quadrature; walk the grid point by point.
+		f := func(u float64) float64 { return s.A.PDF(u) * s.B.Tail(x-u) }
+		acc := f(0) + f(x)
+		for i := 1; i < n; i++ {
+			w := 2.0
+			if i%2 == 1 {
+				w = 4
+			}
+			acc += w * f(h*float64(i))
+		}
+		return head + acc*h/3
+	}
+	ws, pooled := borrowWS(ws)
+	if pooled {
+		defer releaseWS(ws)
+	}
+	pdfG := cbuf(&ws.pdf, n)   // pdfG[i] = density of A at u_i = h*i, i = 1..n-1
+	tailG := cbuf(&ws.tail, n) // tailG[i] = tail of B at x - u_i
+	gridPDF(s.A, h, n, pdfG)
+	gridTail(bmix, x, h, n, tailG)
+	acc := s.A.PDF(0)*s.B.Tail(x) + s.A.PDF(x)*s.B.Tail(0)
 	for i := 1; i < n; i++ {
 		w := 2.0
 		if i%2 == 1 {
 			w = 4
 		}
-		acc += w * f(h*float64(i))
+		acc += w * real(pdfG[i]) * real(tailG[i])
 	}
 	return head + acc*h/3
+}
+
+// gridPDF accumulates the density of m at the interior grid points
+// u_i = h*i, i = 1..n-1, into g. Per term, e^{-p u} advances by one
+// multiplication per step with exact re-anchors (see expResetStride); the
+// Erlang ladder on top is the same arithmetic as Mix.PDF.
+func gridPDF(m Mix, h float64, n int, g []complex128) {
+	for _, t := range m.Terms {
+		p := t.Pole
+		step := cmplx.Exp(-p * complex(h, 0))
+		var e complex128
+		for i := 1; i < n; i++ {
+			u := h * float64(i)
+			if (i-1)%expResetStride == 0 {
+				e = cmplx.Exp(-p * complex(u, 0))
+			} else if e != 0 {
+				e *= step
+			}
+			if e == 0 {
+				continue // deep-tail underflow: contribution is negligible
+			}
+			pu := p * complex(u, 0)
+			f := p * e // Erlang(1) density factor
+			for k, c := range t.Coef {
+				g[i] += c * f
+				f *= pu / complex(float64(k+1), 0)
+			}
+		}
+	}
+}
+
+// gridTail accumulates the tail of m at v_i = x - h*i, i = 1..n-1, into g.
+// v decreases by h each step, so e^{-q v} advances by multiplying e^{q h};
+// the zero guard keeps an underflowed anchor from turning a large step
+// factor into NaN. The ladder matches termTail's arithmetic.
+func gridTail(m Mix, x, h float64, n int, g []complex128) {
+	for _, t := range m.Terms {
+		q := t.Pole
+		step := cmplx.Exp(q * complex(h, 0))
+		var e complex128
+		for i := 1; i < n; i++ {
+			v := x - h*float64(i)
+			if (i-1)%expResetStride == 0 {
+				e = cmplx.Exp(-q * complex(v, 0))
+			} else if e != 0 {
+				e *= step
+			}
+			if e == 0 {
+				continue
+			}
+			qv := q * complex(v, 0)
+			term := e
+			partial := term
+			for k, c := range t.Coef {
+				g[i] += c * partial
+				term *= qv / complex(float64(k+1), 0)
+				partial += term
+			}
+		}
+	}
 }
 
 // CDF returns TotalMass - Tail(x).
 func (s Sum) CDF(x float64) float64 { return s.TotalMass() - s.Tail(x) }
 
-// Quantile inverts the tail by bracketing and bisection, like Mix.Quantile.
-func (s Sum) Quantile(p float64) (float64, error) {
-	if !(p > 0 && p < 1) {
-		return 0, fmt.Errorf("%w: quantile level %g", ErrInvalid, p)
-	}
-	target := 1 - p
-	if s.Tail(0) <= target {
-		return 0, nil
-	}
-	step := s.Mean()
-	if !(step > 0) {
-		step = 1
-	}
-	lo, hi := 0.0, step
-	for i := 0; i < 200 && s.Tail(hi) > target; i++ {
-		lo = hi
-		hi *= 2
-	}
-	if s.Tail(hi) > target {
-		return 0, fmt.Errorf("%w: tail does not reach %g", ErrInvalid, target)
-	}
-	for i := 0; i < 120; i++ {
-		mid := lo + (hi-lo)/2
-		if s.Tail(mid) > target {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if hi-lo <= 1e-10*(1+hi) {
-			break
-		}
-	}
-	return lo + (hi-lo)/2, nil
+// Quantile inverts the tail (see invertTail): a cold QuantileHint.
+func (s Sum) Quantile(p float64) (float64, error) { return s.QuantileHint(p, nil) }
+
+// QuantileHint is Quantile with an optional warm start carried in hint (see
+// TailHint). One borrowed workspace backs every tail evaluation of the
+// inversion, so the quadrature grids are allocated once per call, not once
+// per bracket probe.
+func (s Sum) QuantileHint(p float64, hint *TailHint) (float64, error) {
+	ws, _ := borrowWS(nil)
+	defer releaseWS(ws)
+	tail := func(x float64) float64 { return s.TailWS(x, ws) }
+	return invertTail(tail, s.Mean(), p, 1e-10, hint)
 }

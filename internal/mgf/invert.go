@@ -1,0 +1,149 @@
+package mgf
+
+import (
+	"fmt"
+	"math"
+
+	"fpsping/internal/xmath"
+)
+
+// This file owns quantile inversion for every law in the package: Mix and
+// Sum both delegate here, so bracketing, warm starts and convergence live in
+// exactly one place. The solver splits the work into two stages with very
+// different reuse properties:
+//
+//  1. a bracket stage that locates the law's CANONICAL dyadic bracket: with
+//     step = mean, the smallest k >= 0 with Tail(step·2^k) <= target, giving
+//     [step·2^(k-1), step·2^k] (k = 0 means [0, step]). The bracket is a
+//     function of the law and the target alone — not of how the walk that
+//     found k started — which is what makes warm starts exact;
+//  2. a refinement stage that runs Brent's method on log(Tail(x)/target)
+//     inside the bracket. The tail of every law here is asymptotically
+//     exponential, so the log-ratio is near-linear and Brent's secant and
+//     inverse-quadratic steps converge in a handful of evaluations where
+//     blind bisection needed dozens.
+//
+// A TailHint from a previous inversion only moves the stage-1 walk's
+// starting rung: a cold inversion scans k upward from 0, a warm one starts
+// at the hint's rung and walks up or down to the same canonical k. Either
+// way stage 2 sees the same bracket and the same endpoint values, so a warm
+// start changes how much work is done, never what is computed.
+
+// TailHint carries warm-start state between successive quantile inversions
+// on related laws — e.g. a load sweep, where consecutive grid points' laws
+// have nearby quantiles, so the previous answer points at the right rung of
+// the next bracket search. The zero value is an empty hint. A TailHint must
+// not be shared between concurrent inversions.
+type TailHint struct {
+	x  float64
+	ok bool
+}
+
+// Set records x (a solved quantile) as the hint for the next inversion.
+func (h *TailHint) Set(x float64) { h.x, h.ok = x, true }
+
+// Clear empties the hint.
+func (h *TailHint) Clear() { h.ok = false }
+
+// maxDoubling caps the dyadic bracket search: 2^200 means away from the
+// mean, far beyond any law with a finite tail.
+const maxDoubling = 200
+
+// invertTail returns the smallest x >= 0 with Tail(x) <= 1-p, for a
+// monotone nonincreasing tail function. mean seeds the dyadic bracket
+// (non-positive values fall back to 1, matching the historical behavior),
+// tol is the absolute-plus-relative convergence tolerance, and hint may
+// carry a warm start (nil means cold). On success the hint is updated with
+// the solved abscissa.
+func invertTail(tail func(float64) float64, mean, p, tol float64, hint *TailHint) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, fmt.Errorf("%w: quantile level %g", ErrInvalid, p)
+	}
+	target := 1 - p
+	if tail(0) <= target {
+		return 0, nil
+	}
+	step := mean
+	if !(step > 0) {
+		step = 1
+	}
+	rung := func(j int) float64 { return math.Ldexp(step, j) } // step·2^j, exact
+
+	// Stage 1: find the canonical k — the smallest j >= 0 with
+	// Tail(rung(j)) <= target — walking from j0: 0 when cold, the hint's
+	// rung when warm. Rung values the walk evaluates next to k are kept so
+	// stage 2 does not re-evaluate its endpoints.
+	j0 := 0
+	if hint != nil && hint.ok && hint.x > step {
+		j0 = int(math.Floor(math.Log2(hint.x / step)))
+		if j0 < 0 {
+			j0 = 0
+		}
+		if j0 > maxDoubling {
+			j0 = maxDoubling
+		}
+	}
+	k := -1
+	var vlo, vhi float64 // tail at rung(k-1) (or 0), rung(k)
+	vloOK := false
+	v0 := tail(rung(j0))
+	if v0 > target {
+		// Walk up to the first rung at or under the target.
+		prev := v0
+		for j := j0 + 1; j <= maxDoubling; j++ {
+			v := tail(rung(j))
+			if v <= target {
+				k, vhi = j, v
+				vlo, vloOK = prev, true
+				break
+			}
+			prev = v
+		}
+		if k < 0 {
+			return 0, fmt.Errorf("%w: tail does not reach %g", ErrInvalid, target)
+		}
+	} else {
+		// Walk down to the last rung above the target; k is one past it.
+		k, vhi = j0, v0
+		for j := j0 - 1; j >= 0; j-- {
+			v := tail(rung(j))
+			if v > target {
+				vlo, vloOK = v, true
+				break
+			}
+			k, vhi = j, v
+		}
+	}
+	var lo, hi float64
+	hi = rung(k)
+	if k > 0 {
+		lo = rung(k - 1)
+	}
+	if !vloOK {
+		vlo = tail(lo) // tail(0) when k == 0
+	}
+
+	// Stage 2: Brent on the log-ratio inside [lo, hi]. The bracket and its
+	// endpoint values are the canonical ones whatever j0 was, so the
+	// iterates — and the root — are bit-identical cold or warm.
+	logRatio := func(v float64) float64 {
+		if v > 0 {
+			return math.Log(v / target)
+		}
+		// Deep-tail underflow (or quadrature noise below zero): certainly
+		// under the target; a large finite value keeps Brent's arithmetic
+		// NaN-free where -Inf would poison the interpolation steps.
+		return -745 - math.Log(target)
+	}
+	g := func(x float64) float64 { return logRatio(tail(x)) }
+	x, err := xmath.BrentBracketed(g, lo, hi, logRatio(vlo), logRatio(vhi), tol*(1+hi))
+	if err != nil {
+		// vlo <= target can only mean the tail is not monotone at the
+		// bracket scale; surface it rather than guessing.
+		return 0, fmt.Errorf("%w: tail not monotone near %g", ErrInvalid, lo)
+	}
+	if hint != nil && x > 0 {
+		hint.Set(x)
+	}
+	return x, nil
+}

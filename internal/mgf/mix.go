@@ -204,41 +204,15 @@ func (m Mix) PDF(x float64) float64 {
 }
 
 // Quantile returns the smallest x >= 0 with P(X <= x) >= p, assuming the mix
-// is a normalized probability law. It brackets by doubling and bisects on
-// the monotone tail.
-func (m Mix) Quantile(p float64) (float64, error) {
-	if !(p > 0 && p < 1) {
-		return 0, fmt.Errorf("%w: quantile level %g", ErrInvalid, p)
-	}
-	target := 1 - p
-	if m.Tail(0) <= target {
-		return 0, nil
-	}
-	// Bracket the crossing.
-	step := m.Mean()
-	if !(step > 0) {
-		step = 1
-	}
-	lo, hi := 0.0, step
-	for i := 0; i < 200 && m.Tail(hi) > target; i++ {
-		lo = hi
-		hi *= 2
-	}
-	if m.Tail(hi) > target {
-		return 0, fmt.Errorf("%w: tail does not reach %g", ErrInvalid, target)
-	}
-	for i := 0; i < 200; i++ {
-		mid := lo + (hi-lo)/2
-		if m.Tail(mid) > target {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if hi-lo <= 1e-12*(1+hi) {
-			break
-		}
-	}
-	return lo + (hi-lo)/2, nil
+// is a normalized probability law: a cold QuantileHint.
+func (m Mix) Quantile(p float64) (float64, error) { return m.QuantileHint(p, nil) }
+
+// QuantileHint is Quantile with an optional warm start carried in hint (see
+// TailHint): the bracket search skips tail evaluations the hint's verified
+// probe already settles, and the refinement inside the bracket is identical
+// either way, so a warm inversion returns the same bits as a cold one.
+func (m Mix) QuantileHint(p float64, hint *TailHint) (float64, error) {
+	return invertTail(m.Tail, m.Mean(), p, 1e-12, hint)
 }
 
 // DominantPole returns the pole with the smallest real part (the slowest
@@ -287,36 +261,50 @@ func (m Mix) DominantOnly() Mix {
 // Mul returns the MGF product of a and b: the law of the sum of independent
 // X ~ a and Y ~ b. This is the Appendix A machinery: cross products of
 // Erlang terms are re-expanded by partial fractions around each pole; equal
-// poles merge exactly (Erlang orders add).
-func Mul(a, b Mix) Mix {
+// poles merge exactly (Erlang orders add). One-shot convenience form of
+// MulWS (scratch comes from the package pool).
+func Mul(a, b Mix) Mix { return MulWS(a, b, nil) }
+
+// MulWS is Mul with the inner loops' scratch (coefficient ladders, Taylor
+// coefficients, pole powers) drawn from ws instead of allocated per cross
+// term, so a pipeline multiplying many factor pairs reuses one set of
+// buffers. nil borrows a pooled workspace. The returned Mix owns its memory;
+// only intermediates live in ws.
+func MulWS(a, b Mix, ws *Workspace) Mix {
+	ws, pooled := borrowWS(ws)
+	if pooled {
+		defer releaseWS(ws)
+	}
 	out := Mix{Atom: a.Atom * b.Atom}
 	// Atom x terms cross products.
 	for _, t := range b.Terms {
 		if a.Atom != 0 {
-			out.AddTerm(t.Pole, scaleCoef(t.Coef, complex(a.Atom, 0)))
+			out.AddTerm(t.Pole, scaleCoef(t.Coef, complex(a.Atom, 0), ws))
 		}
 	}
 	for _, t := range a.Terms {
 		if b.Atom != 0 {
-			out.AddTerm(t.Pole, scaleCoef(t.Coef, complex(b.Atom, 0)))
+			out.AddTerm(t.Pole, scaleCoef(t.Coef, complex(b.Atom, 0), ws))
 		}
 	}
 	// Term x term cross products.
 	for _, ta := range a.Terms {
 		for _, tb := range b.Terms {
 			if samePole(ta.Pole, tb.Pole) {
-				mulSamePole(&out, ta, tb)
+				mulSamePole(&out, ta, tb, ws)
 			} else {
-				mulDistinctPoles(&out, ta, tb)
-				mulDistinctPoles(&out, tb, ta)
+				mulDistinctPoles(&out, ta, tb, ws)
+				mulDistinctPoles(&out, tb, ta, ws)
 			}
 		}
 	}
 	return out
 }
 
-func scaleCoef(coef []complex128, w complex128) []complex128 {
-	out := make([]complex128, len(coef))
+// scaleCoef writes coef*w into workspace scratch (valid until the next
+// workspace use; AddTerm copies what it keeps).
+func scaleCoef(coef []complex128, w complex128, ws *Workspace) []complex128 {
+	out := cbuf(&ws.coef, len(coef))
 	for i, c := range coef {
 		out[i] = c * w
 	}
@@ -325,8 +313,8 @@ func scaleCoef(coef []complex128, w complex128) []complex128 {
 
 // mulSamePole handles (p/(p-s))^n * (p/(p-s))^m = (p/(p-s))^(n+m): the
 // convolution of Erlangs with a common rate is an Erlang.
-func mulSamePole(out *Mix, ta, tb Term) {
-	coef := make([]complex128, len(ta.Coef)+len(tb.Coef))
+func mulSamePole(out *Mix, ta, tb Term, ws *Workspace) {
+	coef := cbuf(&ws.coef, len(ta.Coef)+len(tb.Coef))
 	for i, ca := range ta.Coef {
 		if ca == 0 {
 			continue
@@ -345,17 +333,17 @@ func mulSamePole(out *Mix, ta, tb Term) {
 // F_ta(s) * G_tb(s), following Appendix A: with G's Taylor coefficients
 // g_m at the pole p, the cross term A_i (p/(p-s))^{i+1} * G(s) contributes
 // A_i (-1)^m g_m p^m to order (i+1-m) at p, for m = 0..i.
-func mulDistinctPoles(out *Mix, ta, tb Term) {
+func mulDistinctPoles(out *Mix, ta, tb Term, ws *Workspace) {
 	maxOrder := len(ta.Coef)
-	g := taylorAt(tb, ta.Pole, maxOrder)
-	coef := make([]complex128, maxOrder)
+	g := taylorAt(tb, ta.Pole, maxOrder, ws)
+	coef := cbuf(&ws.coef, maxOrder)
 	sign := func(m int) complex128 {
 		if m%2 == 1 {
 			return -1
 		}
 		return 1
 	}
-	pm := make([]complex128, maxOrder) // pole^m
+	pm := cbuf(&ws.powers, maxOrder) // pole^m
 	pw := complex(1, 0)
 	for m := 0; m < maxOrder; m++ {
 		pm[m] = pw
@@ -377,8 +365,9 @@ func mulDistinctPoles(out *Mix, ta, tb Term) {
 // taylorAt returns the first n Taylor coefficients g_m = G^{(m)}(x)/m! of the
 // term function G(s) = sum_j B_j (q/(q-s))^{j+1} around s = x:
 // g_m = sum_j B_j q^{j+1} C(j+m, m) (q-x)^{-(j+1+m)}.
-func taylorAt(t Term, x complex128, n int) []complex128 {
-	g := make([]complex128, n)
+// The result lives in ws.taylor until the next workspace use.
+func taylorAt(t Term, x complex128, n int, ws *Workspace) []complex128 {
+	g := cbuf(&ws.taylor, n)
 	q := t.Pole
 	qx := q - x
 	for j, bj := range t.Coef {

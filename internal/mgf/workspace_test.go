@@ -1,0 +1,139 @@
+package mgf
+
+import (
+	"math"
+	"testing"
+)
+
+// testMixes returns a spread of mixes exercising every Mul branch: atoms,
+// same-pole merges, distinct real poles and a complex-conjugate pair.
+func testMixes() []Mix {
+	withAtom := NewErlang(0.3, 2, 5)
+	withAtom.Atom = 0.7
+	var conj Mix
+	conj.Atom = 0.5
+	conj.AddTerm(complex(2, 1.5), []complex128{complex(0.25, -0.1)})
+	conj.AddTerm(complex(2, -1.5), []complex128{complex(0.25, 0.1)})
+	return []Mix{
+		NewExponential(1, 3),
+		NewErlang(1, 4, 1.2),
+		NewErlang(1, 3, 5), // same pole as withAtom's term: exact merge
+		withAtom,
+		conj,
+	}
+}
+
+// TestMulWSMatchesMul pins that the workspace-reusing product is the same
+// arithmetic as the allocating one: every pairing, with ONE workspace
+// carried across all products (so stale scratch from a previous product
+// must never leak into the next), is bit-identical to Mul.
+func TestMulWSMatchesMul(t *testing.T) {
+	mixes := testMixes()
+	ws := new(Workspace)
+	for i, a := range mixes {
+		for j, b := range mixes {
+			want := Mul(a, b)
+			got := MulWS(a, b, ws)
+			if got.Atom != want.Atom {
+				t.Errorf("(%d,%d): atom %v != %v", i, j, got.Atom, want.Atom)
+			}
+			if len(got.Terms) != len(want.Terms) {
+				t.Fatalf("(%d,%d): %d terms != %d", i, j, len(got.Terms), len(want.Terms))
+			}
+			for k := range got.Terms {
+				if got.Terms[k].Pole != want.Terms[k].Pole {
+					t.Errorf("(%d,%d) term %d: pole %v != %v", i, j, k,
+						got.Terms[k].Pole, want.Terms[k].Pole)
+				}
+				for c := range got.Terms[k].Coef {
+					if got.Terms[k].Coef[c] != want.Terms[k].Coef[c] {
+						t.Errorf("(%d,%d) term %d coef %d: %v != %v", i, j, k, c,
+							got.Terms[k].Coef[c], want.Terms[k].Coef[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// lawOnly hides a Mix's concrete type from Sum.TailWS, forcing the generic
+// point-by-point quadrature path.
+type lawOnly struct{ m Mix }
+
+func (l lawOnly) Tail(x float64) float64 { return l.m.Tail(x) }
+func (l lawOnly) Mean() float64          { return l.m.Mean() }
+func (l lawOnly) TotalMass() float64     { return l.m.TotalMass() }
+
+// TestSumTailGridMatchesDirect pins the exp-recurrence grid fast path
+// against the direct per-point quadrature over the same grid: the recurrence
+// re-anchors every expResetStride steps, so the two must agree to ~1e-12.
+func TestSumTailGridMatchesDirect(t *testing.T) {
+	a := NewErlang(1, 9, 0.3)
+	for _, b := range []Mix{NewErlang(1, 8, 0.25), testMixes()[4]} {
+		fast := Sum{A: a, B: b}
+		slow := Sum{A: a, B: lawOnly{b}}
+		for _, x := range []float64{0.5, 5, 50, 200, 2000} {
+			got := fast.Tail(x)
+			want := slow.Tail(x)
+			if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+				t.Errorf("B=%v tail(%v): grid %v vs direct %v (diff %g)",
+					b, x, got, want, got-want)
+			}
+		}
+	}
+}
+
+// TestSumTailWSAllocs pins the allocation contract of the compiled
+// evaluator's hot loop: with a caller-held workspace whose buffers have been
+// grown once, a tail evaluation allocates nothing.
+func TestSumTailWSAllocs(t *testing.T) {
+	s := Sum{A: NewErlang(1, 9, 0.3), B: NewErlang(1, 8, 0.25)}
+	ws := new(Workspace)
+	s.TailWS(50, ws) // grow the grids
+	allocs := testing.AllocsPerRun(50, func() { s.TailWS(50, ws) })
+	if allocs > 0 {
+		t.Errorf("Sum.TailWS with warm workspace allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestQuantileHintBitIdentical is the warm-start contract at the law level:
+// inverting a ladder of laws with one hint threaded through (in order and
+// out of order) returns exactly the bits of independent cold inversions.
+func TestQuantileHintBitIdentical(t *testing.T) {
+	// A ladder of stochastically growing laws, like a load sweep's.
+	var sums []Sum
+	for _, rate := range []float64{0.40, 0.32, 0.25, 0.18, 0.12, 0.32, 0.45} {
+		sums = append(sums, Sum{A: NewErlang(1, 9, 0.3), B: NewErlang(1, 8, rate)})
+	}
+	for _, p := range []float64{0.99, 0.99999} {
+		var hint TailHint
+		for i, s := range sums {
+			warm, err := s.QuantileHint(p, &hint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := s.Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm != cold {
+				t.Errorf("sum %d p=%v: warm %v != cold %v", i, p, warm, cold)
+			}
+		}
+		var mixHint TailHint
+		for i, r := range []float64{3, 2, 1.2, 0.8, 2.5} {
+			m := NewErlang(1, 4, r)
+			warm, err := m.QuantileHint(p, &mixHint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := m.Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm != cold {
+				t.Errorf("mix %d p=%v: warm %v != cold %v", i, p, warm, cold)
+			}
+		}
+	}
+}

@@ -118,15 +118,31 @@ func (q MEK1) scaledRoots() ([]complex128, error) {
 	return zs, nil
 }
 
-// Poles returns the K poles of the waiting-time MGF: beta times the roots of
-// the scaled denominator. All have positive real part for a stable queue.
-func (q MEK1) Poles() ([]complex128, error) {
+// MEK1Solution is the one-shot root solve of the scaled waiting-time
+// denominator, from which both the pole list and the waiting-time mix derive
+// without re-running PolyRoots + Newton polish. Solve is the entry point.
+type MEK1Solution struct {
+	q  MEK1
+	zs []complex128 // polished scaled roots z_i = p_i/beta
+}
+
+// Solve factors the scaled denominator once and returns the reusable
+// solution. Poles and WaitMix on the solution are pure arithmetic over the
+// stored roots; the MEK1 methods of the same names are one-shot wrappers.
+func (q MEK1) Solve() (*MEK1Solution, error) {
 	zs, err := q.scaledRoots()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]complex128, len(zs))
-	for i, z := range zs {
+	return &MEK1Solution{q: q, zs: zs}, nil
+}
+
+// Poles returns the K poles of the waiting-time MGF: beta times the roots of
+// the scaled denominator. All have positive real part for a stable queue.
+func (sol *MEK1Solution) Poles() ([]complex128, error) {
+	q := sol.q
+	out := make([]complex128, len(sol.zs))
+	for i, z := range sol.zs {
 		if real(z) <= 0 {
 			return nil, fmt.Errorf("M/E%d/1 pole %d = %v not in right half plane (rho=%g)",
 				q.K, i, complex(q.Beta, 0)*z, q.Load())
@@ -141,16 +157,13 @@ func (q MEK1) Poles() ([]complex128, error) {
 // z_i = p_i/beta,
 //
 //	c_i = -(1-rho)(1-z_i)^K / (S'(z_i) z_i).
-func (q MEK1) WaitMix() (mgf.Mix, error) {
-	zs, err := q.scaledRoots()
-	if err != nil {
-		return mgf.Mix{}, err
-	}
+func (sol *MEK1Solution) WaitMix() (mgf.Mix, error) {
+	q := sol.q
 	ds := xmath.PolyDeriv(q.scaledPoly())
 	rho := q.Load()
 	var m mgf.Mix
 	m.Atom = 1 - rho
-	for _, z := range zs {
+	for _, z := range sol.zs {
 		if real(z) <= 0 {
 			return mgf.Mix{}, fmt.Errorf("M/E%d/1: pole %v in left half plane (rho=%g)", q.K, z, q.Load())
 		}
@@ -165,6 +178,24 @@ func (q MEK1) WaitMix() (mgf.Mix, error) {
 		return mgf.Mix{}, fmt.Errorf("M/E%d/1 wait mix (rho=%g): %w", q.K, q.Load(), err)
 	}
 	return m, nil
+}
+
+// Poles is the one-shot form of Solve().Poles().
+func (q MEK1) Poles() ([]complex128, error) {
+	sol, err := q.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return sol.Poles()
+}
+
+// WaitMix is the one-shot form of Solve().WaitMix().
+func (q MEK1) WaitMix() (mgf.Mix, error) {
+	sol, err := q.Solve()
+	if err != nil {
+		return mgf.Mix{}, err
+	}
+	return sol.WaitMix()
 }
 
 // PositionMixUniform returns the in-burst position law for a uniformly
