@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fpsping/internal/core"
@@ -97,33 +99,84 @@ func jobsFlag(fs *flag.FlagSet) *int {
 		"worker pool size for parallel work (output is identical at any value)")
 }
 
+// profileConfig holds the shared -cpuprofile/-memprofile flag values.
+type profileConfig struct {
+	cpu, mem *string
+}
+
+// profileFlags installs the shared profiling flags on a command's flag set.
+func profileFlags(fs *flag.FlagSet) *profileConfig {
+	return &profileConfig{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile of the command body to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file when the command finishes"),
+	}
+}
+
+// run executes a command body under the requested profiles. The profiles
+// cover the body only (flag parsing and setup are excluded); the heap
+// profile is taken after a final GC so it reflects retained memory rather
+// than transient garbage. Profile write errors are reported alongside the
+// body's error so a truncated profile is never silent.
+func (p *profileConfig) run(body func() error) error {
+	var cpu *os.File
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpu = f
+	}
+	errs := []error{body()}
+	if cpu != nil {
+		pprof.StopCPUProfile()
+		errs = append(errs, cpu.Close())
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			runtime.GC()
+			errs = append(errs, pprof.WriteHeapProfile(f), f.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
 func cmdRTT(args []string) error {
 	fs := flag.NewFlagSet("rtt", flag.ExitOnError)
 	sc := scenario.Flags(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m := sc.Model()
-	comp, err := m.Decompose()
-	if err != nil {
-		return err
-	}
-	mean, err := m.MeanRTT()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("scenario      %s\n", m)
-	fmt.Printf("downlink load %.1f%%   uplink load %.1f%%\n", 100*m.DownlinkLoad(), 100*m.UplinkLoad())
-	fmt.Printf("mean RTT      %8.2f ms\n", 1000*mean)
-	fmt.Printf("RTT quantile  %8.2f ms at %g\n", 1000*comp.Total, m.Quantile)
-	fmt.Printf("  serialization  %8.3f ms\n", 1000*comp.Serialization)
-	if comp.Fixed > 0 {
-		fmt.Printf("  fixed          %8.3f ms\n", 1000*comp.Fixed)
-	}
-	fmt.Printf("  upstream  q    %8.3f ms (isolated quantile)\n", 1000*comp.Upstream)
-	fmt.Printf("  burst-wait q   %8.3f ms (isolated quantile)\n", 1000*comp.BurstWait)
-	fmt.Printf("  position  q    %8.3f ms (isolated quantile)\n", 1000*comp.Position)
-	return nil
+	return prof.run(func() error {
+		m := sc.Model()
+		comp, err := m.Decompose()
+		if err != nil {
+			return err
+		}
+		mean, err := m.MeanRTT()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario      %s\n", m)
+		fmt.Printf("downlink load %.1f%%   uplink load %.1f%%\n", 100*m.DownlinkLoad(), 100*m.UplinkLoad())
+		fmt.Printf("mean RTT      %8.2f ms\n", 1000*mean)
+		fmt.Printf("RTT quantile  %8.2f ms at %g\n", 1000*comp.Total, m.Quantile)
+		fmt.Printf("  serialization  %8.3f ms\n", 1000*comp.Serialization)
+		if comp.Fixed > 0 {
+			fmt.Printf("  fixed          %8.3f ms\n", 1000*comp.Fixed)
+		}
+		fmt.Printf("  upstream  q    %8.3f ms (isolated quantile)\n", 1000*comp.Upstream)
+		fmt.Printf("  burst-wait q   %8.3f ms (isolated quantile)\n", 1000*comp.BurstWait)
+		fmt.Printf("  position  q    %8.3f ms (isolated quantile)\n", 1000*comp.Position)
+		return nil
+	})
 }
 
 func cmdSweep(args []string) error {
@@ -133,42 +186,48 @@ func cmdSweep(args []string) error {
 	to := fs.Float64("to", 0.90, "last downlink load")
 	step := fs.Float64("step", 0.05, "load step")
 	jobs := jobsFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !(*step > 0) || !(*from > 0) || *to < *from {
 		return fmt.Errorf("bad sweep range [%g, %g] step %g", *from, *to, *step)
 	}
-	m := sc.Model()
-	pts, err := m.SweepLoadsParallel(core.LoadGrid(*from, *to, *step), *jobs)
-	if err != nil {
-		return err
-	}
-	fmt.Println("load,gamers,rtt_ms")
-	for _, p := range pts {
-		fmt.Printf("%.4f,%.2f,%.3f\n", p.Load, p.Gamers, 1000*p.RTT)
-	}
-	return nil
+	return prof.run(func() error {
+		m := sc.Model()
+		pts, err := m.SweepLoadsParallel(core.LoadGrid(*from, *to, *step), *jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Println("load,gamers,rtt_ms")
+		for _, p := range pts {
+			fmt.Printf("%.4f,%.2f,%.3f\n", p.Load, p.Gamers, 1000*p.RTT)
+		}
+		return nil
+	})
 }
 
 func cmdDimension(args []string) error {
 	fs := flag.NewFlagSet("dimension", flag.ExitOnError)
 	sc := scenario.Flags(fs)
 	bound := fs.Float64("bound", 50, "RTT bound [ms]")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m := sc.Model()
-	res, err := m.MaxLoad(*bound / 1000)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("scenario          %s\n", m)
-	fmt.Printf("RTT bound         %.1f ms\n", *bound)
-	fmt.Printf("max downlink load %.1f%%\n", 100*res.MaxDownlinkLoad)
-	fmt.Printf("max gamers        %d\n", res.MaxGamers)
-	fmt.Printf("RTT at max load   %.2f ms\n", 1000*res.RTTAtMax)
-	return nil
+	return prof.run(func() error {
+		m := sc.Model()
+		res, err := m.MaxLoad(*bound / 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario          %s\n", m)
+		fmt.Printf("RTT bound         %.1f ms\n", *bound)
+		fmt.Printf("max downlink load %.1f%%\n", 100*res.MaxDownlinkLoad)
+		fmt.Printf("max gamers        %d\n", res.MaxGamers)
+		fmt.Printf("RTT at max load   %.2f ms\n", 1000*res.RTTAtMax)
+		return nil
+	})
 }
 
 func cmdExperiments(args []string) error {
@@ -176,6 +235,7 @@ func cmdExperiments(args []string) error {
 	id := fs.String("id", "all", "experiment id (see 'fpsping experiments -id list')")
 	csvDir := fs.String("csv", "", "also write figure series as CSV into this directory")
 	jobs := jobsFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,37 +266,39 @@ func cmdExperiments(args []string) error {
 		}
 		return nil
 	}
-	if *id == "all" {
-		// Run every artifact concurrently, then emit in presentation order.
-		// Artifacts that succeeded are printed even when others failed, so a
-		// broken experiment doesn't discard the rest of the run.
-		runner.SetMaxParallel(*jobs)
-		idx := experiments.Index()
-		results, errs := runner.TryMap(len(idx), runner.Options{Workers: *jobs},
-			func(i int) (experiments.Renderer, error) {
-				return idx[i].Run(*jobs)
-			})
-		var failed []error
-		for i, e := range idx {
-			if errs[i] != nil {
-				failed = append(failed, fmt.Errorf("%s: %w", e.ID, errs[i]))
-				continue
+	return prof.run(func() error {
+		if *id == "all" {
+			// Run every artifact concurrently, then emit in presentation order.
+			// Artifacts that succeeded are printed even when others failed, so a
+			// broken experiment doesn't discard the rest of the run.
+			runner.SetMaxParallel(*jobs)
+			idx := experiments.Index()
+			results, errs := runner.TryMap(len(idx), runner.Options{Workers: *jobs},
+				func(i int) (experiments.Renderer, error) {
+					return idx[i].Run(*jobs)
+				})
+			var failed []error
+			for i, e := range idx {
+				if errs[i] != nil {
+					failed = append(failed, fmt.Errorf("%s: %w", e.ID, errs[i]))
+					continue
+				}
+				if err := emit(e, results[i]); err != nil {
+					return err
+				}
 			}
-			if err := emit(e, results[i]); err != nil {
-				return err
-			}
+			return errors.Join(failed...)
 		}
-		return errors.Join(failed...)
-	}
-	e, err := experiments.Find(*id)
-	if err != nil {
-		return err
-	}
-	res, err := e.Run(*jobs)
-	if err != nil {
-		return fmt.Errorf("%s: %w", e.ID, err)
-	}
-	return emit(e, res)
+		e, err := experiments.Find(*id)
+		if err != nil {
+			return err
+		}
+		res, err := e.Run(*jobs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return emit(e, res)
+	})
 }
 
 // cmdAll emits the complete report: every paper artifact regenerated
@@ -245,12 +307,15 @@ func cmdExperiments(args []string) error {
 func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	jobs := jobsFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	report, err := experiments.Report(*jobs)
-	fmt.Print(report) // on partial failure this is the successful sections
-	return err
+	return prof.run(func() error {
+		report, err := experiments.Report(*jobs)
+		fmt.Print(report) // on partial failure this is the successful sections
+		return err
+	})
 }
 
 func cmdSimulate(args []string) error {
@@ -261,41 +326,44 @@ func cmdSimulate(args []string) error {
 	duration := fs.Float64("duration", 300, "simulated seconds")
 	seed := fs.Uint64("seed", 1, "random seed")
 	level := fs.Float64("simq", 0.999, "quantile level to compare (sim needs samples)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m := sc.Model()
-	m.Quantile = *level
-	pred, err := m.RTTQuantile()
-	if err != nil {
-		return err
-	}
-	cfg, err := scenarioFromModel(m)
-	if err != nil {
-		return err
-	}
-	s, err := netsim.NewScenario(cfg, *seed)
-	if err != nil {
-		return err
-	}
-	res, err := s.Run(*duration)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("scenario        %s\n", m)
-	fmt.Printf("simulated       %.0fs, %d RTT samples, %d events, %d drops\n",
-		*duration, res.RTT.Summary.Count(), res.Events, res.Drops)
-	fmt.Printf("mean RTT        sim %8.3f ms\n", 1000*res.RTT.Summary.Mean())
-	if mean, err := m.MeanRTT(); err == nil {
-		fmt.Printf("                model %6.3f ms\n", 1000*mean)
-	}
-	simQ, err := res.RTT.Quantile(*level)
-	if err != nil {
-		return fmt.Errorf("need a longer -duration for quantile %g: %w", *level, err)
-	}
-	fmt.Printf("p%v RTT      sim %8.3f ms\n", *level, 1000*simQ)
-	fmt.Printf("                model %6.3f ms\n", 1000*pred)
-	return nil
+	return prof.run(func() error {
+		m := sc.Model()
+		m.Quantile = *level
+		pred, err := m.RTTQuantile()
+		if err != nil {
+			return err
+		}
+		cfg, err := scenarioFromModel(m)
+		if err != nil {
+			return err
+		}
+		s, err := netsim.NewScenario(cfg, *seed)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(*duration)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario        %s\n", m)
+		fmt.Printf("simulated       %.0fs, %d RTT samples, %d events, %d drops\n",
+			*duration, res.RTT.Summary.Count(), res.Events, res.Drops)
+		fmt.Printf("mean RTT        sim %8.3f ms\n", 1000*res.RTT.Summary.Mean())
+		if mean, err := m.MeanRTT(); err == nil {
+			fmt.Printf("                model %6.3f ms\n", 1000*mean)
+		}
+		simQ, err := res.RTT.Quantile(*level)
+		if err != nil {
+			return fmt.Errorf("need a longer -duration for quantile %g: %w", *level, err)
+		}
+		fmt.Printf("p%v RTT      sim %8.3f ms\n", *level, 1000*simQ)
+		fmt.Printf("                model %6.3f ms\n", 1000*pred)
+		return nil
+	})
 }
 
 // scenarioFromModel translates the analytic scenario into simulator config

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -51,5 +55,77 @@ func TestWrap(t *testing.T) {
 	}
 	if wrap("", 10, "") != "" {
 		t.Error("empty wrap")
+	}
+}
+
+func TestProfileFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	prof := profileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "/tmp/cpu.out", "-memprofile", "/tmp/mem.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if *prof.cpu != "/tmp/cpu.out" || *prof.mem != "/tmp/mem.out" {
+		t.Errorf("parsed %q / %q", *prof.cpu, *prof.mem)
+	}
+	// Defaults are off.
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	prof2 := profileFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *prof2.cpu != "" || *prof2.mem != "" {
+		t.Error("profiling on by default")
+	}
+}
+
+func TestProfileRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	prof := profileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := prof.run(func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestProfileRunErrors(t *testing.T) {
+	// The body's error survives profiling.
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	prof := profileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("boom")
+	if err := prof.run(func() error { return want }); !errors.Is(err, want) {
+		t.Errorf("body error lost: %v", err)
+	}
+	// An uncreatable CPU profile path fails before the body runs.
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	prof2 := profileFlags(fs2)
+	if err := fs2.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := prof2.run(func() error { ran = true; return nil }); err == nil {
+		t.Error("bad cpuprofile path accepted")
+	}
+	if ran {
+		t.Error("body ran despite profile setup failure")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fpsping/internal/mgf"
+	"fpsping/internal/queueing"
 )
 
 // This file is the staged evaluation pipeline: everything expensive about a
@@ -57,12 +58,19 @@ func (c *CompiledLaw) Quantile(p float64) (float64, error) {
 // warm-starting the next one. Warm and cold inversions are bit-identical, so
 // the cache and the hint change only the cost of an answer, never its value.
 func (c *CompiledLaw) QuantileWarm(p float64, hint *mgf.TailHint) (float64, error) {
+	return c.QuantileWarmWS(p, hint, nil)
+}
+
+// QuantileWarmWS is QuantileWarm with the quadrature workspace supplied by
+// the caller (nil borrows a pooled one per inversion); a load-axis walk
+// holds one workspace so consecutive points reuse warm Simpson grids.
+func (c *CompiledLaw) QuantileWarmWS(p float64, hint *mgf.TailHint, ws *mgf.Workspace) (float64, error) {
 	c.mu.Lock()
 	q, ok := c.solved[p]
 	c.mu.Unlock()
 	if !ok {
 		var err error
-		q, err = lawQuantileHint(c.law, p, hint)
+		q, err = lawQuantileHintWS(c.law, p, hint, ws)
 		if err != nil {
 			return 0, err
 		}
@@ -88,6 +96,10 @@ type CompiledModel struct {
 
 	du, w, p mgf.Mix
 	law      *CompiledLaw
+	// sol is the downstream D/E_K/1 root solution the factors were built
+	// from, kept so a load-axis walk can seed the next point's solve with it
+	// (see LoadPath). Immutable after Compile, like the rest of the struct.
+	sol *queueing.DEK1Solution
 }
 
 // Compile runs the expensive stages of the pipeline once: validates the
@@ -95,7 +107,18 @@ type CompiledModel struct {
 // (factorMixes) and combines them into the total queueing-delay law
 // (combineLaw). Everything after this is cheap arithmetic over the result.
 func (m Model) Compile() (*CompiledModel, error) {
-	du, w, p, err := m.factorMixes()
+	return m.CompileFrom(nil)
+}
+
+// CompileFrom is Compile with the downstream root solve warm-started from a
+// neighbouring load's solution (nil means a cold solve). The continuation
+// seeds only the Newton iteration; its result is validated and falls back to
+// the cold factorization on any doubt, so a warm compile returns exactly the
+// bits of Compile() — cheaper, never different. LoadPath threads solutions
+// through consecutive loads so sweeps and bisections compile each point from
+// its neighbour.
+func (m Model) CompileFrom(prev *queueing.DEK1Solution) (*CompiledModel, error) {
+	du, w, p, sol, err := m.factorMixesFrom(prev)
 	if err != nil {
 		return nil, err
 	}
@@ -103,8 +126,12 @@ func (m Model) Compile() (*CompiledModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CompiledModel{Model: m, du: du, w: w, p: p, law: NewCompiledLaw(law)}, nil
+	return &CompiledModel{Model: m, du: du, w: w, p: p, law: NewCompiledLaw(law), sol: sol}, nil
 }
+
+// DownstreamSolution returns the D/E_K/1 root solution behind the compiled
+// factors: the continuation seed for a neighbouring load's CompileFrom.
+func (cm *CompiledModel) DownstreamSolution() *queueing.DEK1Solution { return cm.sol }
 
 // Law returns the compiled total-delay law.
 func (cm *CompiledModel) Law() *CompiledLaw { return cm.law }
@@ -118,7 +145,13 @@ func (cm *CompiledModel) RTTQuantile() (float64, error) {
 // RTTQuantileWarm is RTTQuantile with a warm-start hint for the quantile
 // inversion; sweeps thread one hint through consecutive loads.
 func (cm *CompiledModel) RTTQuantileWarm(hint *mgf.TailHint) (float64, error) {
-	q, err := cm.law.QuantileWarm(cm.Model.quantile(), hint)
+	return cm.rttQuantileWarmWS(hint, nil)
+}
+
+// rttQuantileWarmWS is RTTQuantileWarm with the quadrature workspace
+// supplied by the caller; LoadPath holds one per walk.
+func (cm *CompiledModel) rttQuantileWarmWS(hint *mgf.TailHint, ws *mgf.Workspace) (float64, error) {
+	q, err := cm.law.QuantileWarmWS(cm.Model.quantile(), hint, ws)
 	if err != nil {
 		return 0, err
 	}

@@ -185,9 +185,10 @@ func BenchmarkModelCompiledVsCold(b *testing.B) {
 }
 
 // BenchmarkSweepPaperGridCold measures a cold paper-figure sweep: warm is
-// the serial walk with the hint threaded through (SweepLoads), independent
-// re-inverts every point from scratch (the parallel evaluator at one
-// worker). The gap is the warm start's worth.
+// the serial walk (SweepLoads, one LoadPath through every point), continued
+// is the same walk driven explicitly through a LoadPath, and independent
+// recompiles and re-inverts every point from scratch. The warm/independent
+// gap is the continuation's worth — identical values, different cost.
 func BenchmarkSweepPaperGridCold(b *testing.B) {
 	m := figure3Model(9)
 	loads := PaperLoadGrid()
@@ -198,11 +199,35 @@ func BenchmarkSweepPaperGridCold(b *testing.B) {
 			}
 		}
 	})
-	b.Run("independent", func(b *testing.B) {
+	b.Run("continued", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := m.SweepLoadsParallel(loads, 1); err != nil {
-				b.Fatal(err)
+			path := m.NewLoadPath()
+			for _, rho := range loads {
+				if _, err := path.Point(rho); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, rho := range loads {
+				if _, err := m.WithDownlinkLoad(rho).RTTQuantile(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDimensionCold measures a cold §4 dimensioning run: the bisection
+// probes a few dozen neighbouring loads, each continued from the previous
+// probe through the default LoadPath evaluator.
+func BenchmarkDimensionCold(b *testing.B) {
+	m := figure3Model(9)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MaxLoad(0.060); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -69,8 +69,17 @@ func (m Model) MaxLoadWith(rttBound float64, rttAt PointEval) (DimensioningResul
 	ceil -= 1e-6
 
 	if rttAt == nil {
+		// The bisection's probes are neighbours on the load axis, so drive
+		// them through one LoadPath: each probe's root solve and quantile
+		// inversion continue from the previous probe, bit-identical to the
+		// direct evaluation (the LoadPath contract).
+		path := m.NewLoadPath()
 		rttAt = func(rho float64) (float64, error) {
-			return m.WithDownlinkLoad(rho).RTTQuantile()
+			cm, err := path.Compile(rho)
+			if err != nil {
+				return 0, err
+			}
+			return path.Quantile(cm)
 		}
 	}
 

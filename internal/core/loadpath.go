@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fpsping/internal/mgf"
+	"fpsping/internal/queueing"
+)
+
+// LoadPath walks one scenario along the load axis, carrying everything a
+// point's evaluation can reuse from its neighbour:
+//
+//   - the downstream D/E_K/1 root solution, seeding the next compile's
+//     Newton polish instead of a cold fixed-point iteration
+//     (queueing.DEK1.SolveFrom);
+//   - the tail hint, warm-starting the next quantile inversion's bracket
+//     search from the previous answer (mgf.TailHint);
+//   - one quadrature workspace, so consecutive inversions reuse warm
+//     Simpson grids instead of a pool round-trip per point.
+//
+// All three carriers are bit-exact: a point evaluated through a path is
+// byte-identical to WithDownlinkLoad(rho).RTTQuantile() evaluated cold, so
+// a path changes only the cost of a walk, never its values. Sweeps
+// (SweepLoads, SweepGridWith chunks), dimensioning bisections (MaxLoadWith)
+// and the daemon's memoized grids all drive their points through one.
+//
+// Continuation does not require monotone loads — any neighbouring parameter
+// is a good Newton seed, and validation falls back to the cold solve on any
+// doubt — but monotone walks converge fastest. A LoadPath is NOT safe for
+// concurrent use: parallel walkers each hold their own (the chunked
+// SweepGridWith builds one per chunk).
+type LoadPath struct {
+	m    Model
+	prev *queueing.DEK1Solution
+	hint mgf.TailHint
+	ws   mgf.Workspace
+}
+
+// NewLoadPath starts a load-axis walk over the model's scenario (Gamers is
+// overridden per point via WithDownlinkLoad).
+func (m Model) NewLoadPath() *LoadPath { return &LoadPath{m: m} }
+
+// Compile stages the model at downlink load rho, warm-starting the
+// downstream root solve from the previous point on the path, and adopts the
+// resulting solution as the seed for the next point.
+func (p *LoadPath) Compile(rho float64) (*CompiledModel, error) {
+	cm, err := p.m.WithDownlinkLoad(rho).CompileFrom(p.prev)
+	if err != nil {
+		return nil, err
+	}
+	p.prev = cm.DownstreamSolution()
+	return cm, nil
+}
+
+// Reseed adopts an externally produced compiled model — typically a memo
+// hit that skipped this path's Compile — as the continuation seed for the
+// next point, so a walk over partially cached loads keeps warm-starting.
+func (p *LoadPath) Reseed(cm *CompiledModel) {
+	if cm != nil && cm.DownstreamSolution() != nil {
+		p.prev = cm.DownstreamSolution()
+	}
+}
+
+// Quantile evaluates cm's RTT quantile (seconds) through the path's tail
+// hint and workspace. cm need not have come from this path's Compile: a
+// memoized compiled model works too (and a solved-level cache hit still
+// updates the hint for the next point).
+func (p *LoadPath) Quantile(cm *CompiledModel) (float64, error) {
+	return cm.rttQuantileWarmWS(&p.hint, &p.ws)
+}
+
+// Point evaluates one sweep point at downlink load rho: a Compile plus a
+// Quantile, both warm-started from the path's previous point.
+func (p *LoadPath) Point(rho float64) (SweepPoint, error) {
+	cm, err := p.Compile(rho)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	rtt, err := p.Quantile(cm)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Load: rho, Gamers: cm.Model.Gamers, RTT: rtt}, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// loadPathGrids returns the grids the continuation contract is pinned over:
+// the paper's grid, seeded random monotone grids, and the paper grid
+// reversed (continuation seeds work in either direction; validation, not
+// monotonicity, guarantees correctness).
+func loadPathGrids() [][]float64 {
+	rng := rand.New(rand.NewSource(23))
+	grids := [][]float64{PaperLoadGrid()}
+	for g := 0; g < 3; g++ {
+		grid := make([]float64, 10)
+		for i := range grid {
+			grid[i] = 0.03 + 0.87*rng.Float64()
+		}
+		sort.Float64s(grid)
+		grids = append(grids, grid)
+	}
+	rev := PaperLoadGrid()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	grids = append(grids, rev)
+	return grids
+}
+
+// TestLoadPathBitIdenticalToCold is the continuation contract end to end: a
+// LoadPath walk — warm-started root solves, threaded tail hint, shared
+// workspace — must return exactly the bits of independent cold evaluation
+// at every point of every grid.
+func TestLoadPathBitIdenticalToCold(t *testing.T) {
+	for _, k := range []int{9, 20} {
+		m := figure3Model(k)
+		for gi, grid := range loadPathGrids() {
+			path := m.NewLoadPath()
+			for _, rho := range grid {
+				pt, err := path.Point(rho)
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: path: %v", k, gi, rho, err)
+				}
+				at := m.WithDownlinkLoad(rho)
+				cold, err := at.RTTQuantile()
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: cold: %v", k, gi, rho, err)
+				}
+				if pt.RTT != cold {
+					t.Errorf("K=%d grid %d rho=%v: path %v != cold %v (diff %g)",
+						k, gi, rho, pt.RTT, cold, pt.RTT-cold)
+				}
+				if pt.Gamers != at.Gamers {
+					t.Errorf("K=%d grid %d rho=%v: path gamers %v != %v",
+						k, gi, rho, pt.Gamers, at.Gamers)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileFromBitIdentical pins the layer below: the factors and the
+// downstream root solution of a warm compile must be exactly those of a
+// cold compile, point by point along a walk.
+func TestCompileFromBitIdentical(t *testing.T) {
+	for _, k := range []int{9, 20} {
+		m := figure3Model(k)
+		for gi, grid := range loadPathGrids() {
+			path := m.NewLoadPath()
+			for _, rho := range grid {
+				warm, err := path.Compile(rho)
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: warm: %v", k, gi, rho, err)
+				}
+				cold, err := m.WithDownlinkLoad(rho).Compile()
+				if err != nil {
+					t.Fatalf("K=%d grid %d rho=%v: cold: %v", k, gi, rho, err)
+				}
+				wz := warm.DownstreamSolution().Zetas()
+				cz := cold.DownstreamSolution().Zetas()
+				if len(wz) != len(cz) {
+					t.Fatalf("K=%d grid %d rho=%v: %d warm roots, %d cold", k, gi, rho, len(wz), len(cz))
+				}
+				for i := range wz {
+					if wz[i] != cz[i] {
+						t.Errorf("K=%d grid %d rho=%v root %d: warm %v != cold %v",
+							k, gi, rho, i, wz[i], cz[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLoadPathReseed pins the memo-hit path: adopting an externally
+// compiled model as the continuation seed must leave subsequent points
+// bit-identical to cold evaluation.
+func TestLoadPathReseed(t *testing.T) {
+	m := figure3Model(9)
+	path := m.NewLoadPath()
+	cm, err := m.WithDownlinkLoad(0.4).Compile() // "cache hit" computed elsewhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.Reseed(cm)
+	pt, err := path.Point(0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := m.WithDownlinkLoad(0.45).RTTQuantile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.RTT != cold {
+		t.Errorf("after reseed: path %v != cold %v", pt.RTT, cold)
+	}
+	path.Reseed(nil) // must not clear the seed or panic
+	if _, err := path.Point(0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxLoadWithDefaultEvaluator pins that the LoadPath-driven default
+// bisection evaluator returns exactly the result of an explicit
+// per-probe cold evaluator.
+func TestMaxLoadWithDefaultEvaluator(t *testing.T) {
+	m := figure3Model(9)
+	const bound = 0.060
+	viaPath, err := m.MaxLoad(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCold, err := m.MaxLoadWith(bound, func(rho float64) (float64, error) {
+		return m.WithDownlinkLoad(rho).RTTQuantile()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaPath != viaCold {
+		t.Errorf("default (LoadPath) %+v != cold evaluator %+v", viaPath, viaCold)
+	}
+}
+
+// TestSweepGridWithChunkedChains pins the chunked grid walker against the
+// serial walk at several worker counts, including more workers than points.
+func TestSweepGridWithChunkedChains(t *testing.T) {
+	m := figure3Model(9)
+	loads := PaperLoadGrid()
+	serial, err := m.SweepLoads(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5, len(loads), len(loads) + 7} {
+		got, err := m.SweepLoadsParallel(loads, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Errorf("workers=%d point %d: %+v != serial %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestLoadGridByIndex pins the index-built grid: loads[i] must equal
+// from + i*step exactly (no accumulated drift), the first point must be
+// from itself, and the endpoint must survive the epsilon.
+func TestLoadGridByIndex(t *testing.T) {
+	cases := []struct{ from, to, step float64 }{
+		{0.05, 0.9, 0.05},
+		{0.1, 0.8, 0.1},
+		{0.3, 0.31, 0.001},
+		{0.05, 0.95, 0.09},
+		{0.5, 0.5, 0.1},
+	}
+	for _, c := range cases {
+		grid := LoadGrid(c.from, c.to, c.step)
+		if len(grid) == 0 {
+			t.Fatalf("LoadGrid(%v, %v, %v): empty", c.from, c.to, c.step)
+		}
+		if grid[0] != c.from {
+			t.Errorf("LoadGrid(%v, %v, %v): first point %v, want from", c.from, c.to, c.step, grid[0])
+		}
+		for i, r := range grid {
+			if want := c.from + float64(i)*c.step; r != want {
+				t.Errorf("LoadGrid(%v, %v, %v)[%d] = %v, want %v", c.from, c.to, c.step, i, r, want)
+			}
+			if r > c.to+1e-12 {
+				t.Errorf("LoadGrid(%v, %v, %v)[%d] = %v beyond to", c.from, c.to, c.step, i, r)
+			}
+		}
+		if last := grid[len(grid)-1]; last+c.step <= c.to+1e-12 {
+			t.Errorf("LoadGrid(%v, %v, %v) stops early at %v", c.from, c.to, c.step, last)
+		}
+	}
+	if g := LoadGrid(0.1, 0.5, 0); g != nil {
+		t.Errorf("LoadGrid with step 0 = %v, want nil", g)
+	}
+	// The paper grid is the index-built 18-point axis.
+	pg := PaperLoadGrid()
+	if len(pg) != 18 {
+		t.Fatalf("PaperLoadGrid: %d points, want 18", len(pg))
+	}
+	for i, r := range pg {
+		if want := 0.05 + float64(i)*0.05; r != want {
+			t.Errorf("PaperLoadGrid[%d] = %v, want %v", i, r, want)
+		}
+	}
+}

@@ -164,29 +164,43 @@ func (m Model) Downstream() (queueing.DEK1, error) {
 
 // factorMixes builds the three independent queueing-delay factors of
 // eq. (35): Du (upstream M/D/1, eq. 14), W (D/E_K/1 burst wait, eq. 18) and
-// P (in-burst position, eq. 34).
+// P (in-burst position, eq. 34). A cold factorMixesFrom.
 func (m Model) factorMixes() (du, w, p mgf.Mix, err error) {
+	du, w, p, _, err = m.factorMixesFrom(nil)
+	return du, w, p, err
+}
+
+// factorMixesFrom is factorMixes with the downstream D/E_K/1 root solve
+// warm-started from a neighbouring load's solution (nil means cold; see
+// queueing.DEK1.SolveFrom). It also returns the solution it produced, so a
+// load-axis walk (LoadPath) can seed the next point with it. Warm and cold
+// solves are bit-identical — the continuation changes only cost, never the
+// factors.
+func (m Model) factorMixesFrom(prev *queueing.DEK1Solution) (du, w, p mgf.Mix, sol *queueing.DEK1Solution, err error) {
 	if err = m.Validate(); err != nil {
-		return du, w, p, err
+		return du, w, p, nil, err
 	}
 	up, err := m.Upstream()
 	if err != nil {
-		return du, w, p, fmt.Errorf("core: upstream: %w", err)
+		return du, w, p, nil, fmt.Errorf("core: upstream: %w", err)
 	}
 	if du, err = up.WaitMixPaper(); err != nil {
-		return du, w, p, err
+		return du, w, p, nil, err
 	}
 	down, err := m.Downstream()
 	if err != nil {
-		return du, w, p, fmt.Errorf("core: downstream: %w", err)
+		return du, w, p, nil, fmt.Errorf("core: downstream: %w", err)
 	}
-	if w, err = down.WaitMix(); err != nil {
-		return du, w, p, err
+	if sol, err = down.SolveFrom(prev); err != nil {
+		return du, w, p, nil, err
+	}
+	if w, err = sol.WaitMix(); err != nil {
+		return du, w, p, nil, err
 	}
 	if p, err = down.PositionMixUniform(); err != nil {
-		return du, w, p, err
+		return du, w, p, nil, err
 	}
-	return du, w, p, nil
+	return du, w, p, sol, nil
 }
 
 // mulErrBudget is the largest estimated float64 error tolerated before the
@@ -233,11 +247,18 @@ func lawQuantile(l mgf.Law, p float64) (float64, error) {
 // lawQuantileHint is lawQuantile with an optional warm-start hint (see
 // mgf.TailHint).
 func lawQuantileHint(l mgf.Law, p float64, hint *mgf.TailHint) (float64, error) {
+	return lawQuantileHintWS(l, p, hint, nil)
+}
+
+// lawQuantileHintWS is lawQuantileHint with the quadrature workspace
+// supplied by the caller (nil borrows a pooled one). Only the Sum inversion
+// touches a workspace; the closed-form Mix inversion ignores it.
+func lawQuantileHintWS(l mgf.Law, p float64, hint *mgf.TailHint, ws *mgf.Workspace) (float64, error) {
 	switch v := l.(type) {
 	case mgf.Mix:
 		return v.QuantileHint(p, hint)
 	case mgf.Sum:
-		return v.QuantileHint(p, hint)
+		return v.QuantileHintWS(p, hint, ws)
 	default:
 		return 0, fmt.Errorf("core: unknown law type %T", l)
 	}

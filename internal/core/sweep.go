@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
 
-	"fpsping/internal/mgf"
 	"fpsping/internal/runner"
 )
 
@@ -21,32 +21,27 @@ type SweepPoint struct {
 // producing the series behind the paper's figures. Loads at or beyond a
 // stability limit are skipped (the curves' vertical asymptote).
 //
-// The walk threads one mgf.TailHint through consecutive points: the loads
-// are (in every caller) monotone, so each point's quantile inversion
-// warm-starts its bracket search from the previous answer. Warm starts are
-// bit-exact (see mgf.TailHint), so the points are identical to independent
+// The walk drives one LoadPath through consecutive points: each point's
+// downstream root solve continues from the previous point's roots and its
+// quantile inversion warm-starts from the previous answer. Both carriers
+// are bit-exact (see LoadPath), so the points are identical to independent
 // per-point evaluation — SweepLoadsParallel relies on exactly that.
 func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("%w: empty load list", ErrBadModel)
 	}
 	out := make([]SweepPoint, 0, len(loads))
-	var hint mgf.TailHint
+	path := m.NewLoadPath()
 	for _, rho := range loads {
 		if !(rho > 0) {
 			return nil, fmt.Errorf("%w: load %g", ErrBadModel, rho)
 		}
-		at := m.WithDownlinkLoad(rho)
-		cm, err := at.Compile()
+		pt, err := path.Point(rho)
 		if err != nil {
 			// Stop at the first unstable point: the asymptote.
 			break
 		}
-		rtt, err := cm.RTTQuantileWarm(&hint)
-		if err != nil {
-			break
-		}
-		out = append(out, SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt})
+		out = append(out, pt)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no stable points in sweep of %s: %w", m, ErrUnstable)
@@ -54,42 +49,72 @@ func (m Model) SweepLoads(loads []float64) ([]SweepPoint, error) {
 	return out, nil
 }
 
-// SweepGridWith evaluates the curve with a caller-supplied point evaluator
+// SweepGridWith evaluates the curve with caller-supplied point evaluators
 // fanned out over a worker pool — the one owner of the serial sweep
-// semantics every front end shares (SweepLoadsParallel plugs in a direct
-// RTTQuantile evaluation; the daemon's /v1/sweep plugs in its memoized
-// one). The serial semantics are reproduced exactly by an ordered post-scan
-// of the full result grid: the curve ends at the first failing evaluation
-// (the vertical asymptote), an invalid load is only an error if it sits
-// before that point, and the returned points are byte-identical at any
-// worker count.
+// semantics every front end shares (SweepLoadsParallel plugs in a LoadPath
+// walk; the daemon's /v1/sweep plugs in its memoized one). chain is called
+// once per worker and returns that worker's point evaluator, so each worker
+// can carry per-chain continuation state (a LoadPath) without
+// synchronization: the grid is split into contiguous chunks, one chain per
+// chunk, and each chain walks its chunk in load order.
+//
+// The serial semantics are reproduced exactly by an ordered post-scan of
+// the full result grid: the curve ends at the first failing evaluation (the
+// vertical asymptote), an invalid load is only an error if it sits before
+// that point, and — because a chained point is bit-identical to an
+// independent one — the returned points are byte-identical at any worker
+// count. A chain stops walking its chunk at its first failure; the indices
+// it leaves unevaluated all sit after the grid's first failure, which is
+// where the post-scan stops reading.
 func (m Model) SweepGridWith(loads []float64, workers int,
-	point func(rho float64) (SweepPoint, error)) ([]SweepPoint, error) {
+	chain func() func(rho float64) (SweepPoint, error)) ([]SweepPoint, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("%w: empty load list", ErrBadModel)
+	}
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
+	if workers > len(loads) {
+		workers = len(loads)
 	}
 	type cell struct {
 		pt  SweepPoint
 		bad error // invalid load (serial: immediate error)
+		err error // failed evaluation (serial: break)
 	}
-	cells, errs := runner.TryMap(len(loads), runner.Options{Workers: workers},
-		func(i int) (cell, error) {
+	cells := make([]cell, len(loads))
+	// Contiguous chunks, sizes differing by at most one; chunk c covers
+	// [c*base+min(c,rem), ...+size). Workers write disjoint index ranges.
+	base, rem := len(loads)/workers, len(loads)%workers
+	runner.TryMap(workers, runner.Options{Workers: workers}, func(c int) (struct{}, error) {
+		start, size := c*base, base
+		if c < rem {
+			start, size = start+c, size+1
+		} else {
+			start += rem
+		}
+		point := chain()
+		for i := start; i < start+size; i++ {
 			rho := loads[i]
 			if !(rho > 0) {
-				return cell{bad: fmt.Errorf("%w: load %g", ErrBadModel, rho)}, nil
+				cells[i] = cell{bad: fmt.Errorf("%w: load %g", ErrBadModel, rho)}
+				continue
 			}
 			pt, err := point(rho)
 			if err != nil {
-				return cell{}, err // unstable point (serial: break)
+				cells[i] = cell{err: err}
+				break // the post-scan never reads past this index
 			}
-			return cell{pt: pt}, nil
-		})
+			cells[i] = cell{pt: pt}
+		}
+		return struct{}{}, nil
+	})
 	out := make([]SweepPoint, 0, len(loads))
 	for i := range cells {
 		if cells[i].bad != nil {
 			return nil, cells[i].bad
 		}
-		if errs[i] != nil {
+		if cells[i].err != nil {
 			// Stop at the first unstable point: the asymptote.
 			break
 		}
@@ -101,27 +126,32 @@ func (m Model) SweepGridWith(loads []float64, workers int,
 	return out, nil
 }
 
-// SweepLoadsParallel evaluates the same curve as SweepLoads with the
-// per-load RTTQuantile calls (independent of each other) fanned out over a
-// worker pool, byte-identical to SweepLoads' points at any worker count.
+// SweepLoadsParallel evaluates the same curve as SweepLoads with the grid
+// split into per-worker chunks, each walked by its own LoadPath chain,
+// byte-identical to SweepLoads' points at any worker count.
 func (m Model) SweepLoadsParallel(loads []float64, workers int) ([]SweepPoint, error) {
-	return m.SweepGridWith(loads, workers, func(rho float64) (SweepPoint, error) {
-		at := m.WithDownlinkLoad(rho)
-		rtt, err := at.RTTQuantile()
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		return SweepPoint{Load: rho, Gamers: at.Gamers, RTT: rtt}, nil
+	return m.SweepGridWith(loads, workers, func() func(rho float64) (SweepPoint, error) {
+		return m.NewLoadPath().Point
 	})
 }
 
 // LoadGrid returns the closed load range [from, to] in step increments
-// (with an epsilon so the endpoint survives float accumulation). It is the
-// one grid builder behind both the CLI's sweep command and the daemon's
-// /v1/sweep, so the two can never disagree about a grid's endpoints.
+// (with an epsilon so the endpoint survives rounding). It is the one grid
+// builder behind both the CLI's sweep command and the daemon's /v1/sweep,
+// so the two can never disagree about a grid's endpoints. Points are built
+// by index — from + i*step, one rounding per point — rather than by
+// accumulation, so a grid value does not depend on how many points precede
+// it and drift does not grow with the grid's length.
 func LoadGrid(from, to, step float64) []float64 {
+	if !(step > 0) || math.IsNaN(from) || math.IsNaN(to) {
+		return nil
+	}
 	var loads []float64
-	for r := from; r <= to+1e-12; r += step {
+	for i := 0; ; i++ {
+		r := from + float64(i)*step
+		if r > to+1e-12 {
+			break
+		}
 		loads = append(loads, r)
 	}
 	return loads
@@ -131,8 +161,8 @@ func LoadGrid(from, to, step float64) []float64 {
 // steps.
 func PaperLoadGrid() []float64 {
 	loads := make([]float64, 0, 18)
-	for r := 0.05; r < 0.905; r += 0.05 {
-		loads = append(loads, r)
+	for i := 0; i < 18; i++ {
+		loads = append(loads, 0.05+float64(i)*0.05)
 	}
 	return loads
 }

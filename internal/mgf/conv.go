@@ -91,6 +91,19 @@ func (s Sum) TotalMass() float64 { return s.A.TotalMass() * s.B.TotalMass() }
 // sharpest decay rate of A. One-shot form of TailWS.
 func (s Sum) Tail(x float64) float64 { return s.TailWS(x, nil) }
 
+// sharpestDecay returns the largest pole magnitude of A: the sharpest decay
+// rate, which sets the quadrature resolution. It depends only on the law, so
+// batch evaluation hoists it out of the per-abscissa loop.
+func (s Sum) sharpestDecay() float64 {
+	sharp := 0.0
+	for _, t := range s.A.Terms {
+		if r := cmplx.Abs(t.Pole); r > sharp {
+			sharp = r
+		}
+	}
+	return sharp
+}
+
 // expResetStride is how many recurrence steps the grid evaluators take
 // between exact cmplx.Exp re-anchors: the multiplicative error grows like
 // stride*eps, so 64 keeps each grid value within ~1.5e-14 of direct
@@ -105,23 +118,44 @@ const expResetStride = 64
 // dominates the cold-path profile. A nested-Sum B falls back to the
 // point-by-point walk.
 func (s Sum) TailWS(x float64, ws *Workspace) float64 {
+	return s.tailAt(x, ws, s.sharpestDecay())
+}
+
+// TailBatchWS evaluates the tail at every abscissa in xs, writing
+// P(X+Y > xs[i]) into out[i] (len(out) must be >= len(xs)). Each result is
+// bit-identical to a standalone TailWS call: the panel width is a function
+// of the abscissa, so the Simpson grid itself cannot be shared without
+// changing values. What the batch amortizes instead is everything that is a
+// function of the law alone — one workspace borrow (instead of a pool
+// round-trip per probe), one decay-rate scan, and warm grid buffers already
+// sized by the previous abscissa — which is where the per-probe overhead of
+// a bracket search concentrates.
+func (s Sum) TailBatchWS(xs []float64, out []float64, ws *Workspace) {
+	ws, pooled := borrowWS(ws)
+	if pooled {
+		defer releaseWS(ws)
+	}
+	sharp := s.sharpestDecay()
+	for i, x := range xs {
+		out[i] = s.tailAt(x, ws, sharp)
+	}
+}
+
+// tailAt is TailWS with the decay-rate scan hoisted: sharp must be
+// s.sharpestDecay(). Batch callers compute it once per law.
+func (s Sum) tailAt(x float64, ws *Workspace, sharp float64) float64 {
 	if x < 0 {
 		return s.TotalMass()
 	}
 	if x == 0 {
 		return s.TotalMass() - s.Atom()
 	}
-	head := s.A.Atom*s.B.Tail(x) + s.A.Tail(x)
+	bx := s.B.Tail(x) // shared by the head and the u=0 boundary term
+	head := s.A.Atom*bx + s.A.Tail(x)
 	if len(s.A.Terms) == 0 {
 		return head
 	}
 	// Panel count scales with how many decay lengths of A fit in [0, x].
-	sharp := 0.0
-	for _, t := range s.A.Terms {
-		if r := cmplx.Abs(t.Pole); r > sharp {
-			sharp = r
-		}
-	}
 	n := int(64 * (1 + sharp*x))
 	if n < 512 {
 		n = 512
@@ -136,14 +170,14 @@ func (s Sum) TailWS(x float64, ws *Workspace) float64 {
 	bmix, fast := s.B.(Mix)
 	if !fast {
 		// B evaluates by its own quadrature; walk the grid point by point.
-		f := func(u float64) float64 { return s.A.PDF(u) * s.B.Tail(x-u) }
-		acc := f(0) + f(x)
+		acc := s.A.PDF(0)*bx + s.A.PDF(x)*s.B.Tail(0)
 		for i := 1; i < n; i++ {
 			w := 2.0
 			if i%2 == 1 {
 				w = 4
 			}
-			acc += w * f(h*float64(i))
+			u := h * float64(i)
+			acc += w * s.A.PDF(u) * s.B.Tail(x-u)
 		}
 		return head + acc*h/3
 	}
@@ -151,46 +185,172 @@ func (s Sum) TailWS(x float64, ws *Workspace) float64 {
 	if pooled {
 		defer releaseWS(ws)
 	}
-	pdfG := cbuf(&ws.pdf, n)   // pdfG[i] = density of A at u_i = h*i, i = 1..n-1
-	tailG := cbuf(&ws.tail, n) // tailG[i] = tail of B at x - u_i
+	pdfG := fbuf(&ws.pdf, n)   // pdfG[i] = density of A at u_i = h*i, i = 1..n-1
+	tailG := fbuf(&ws.tail, n) // tailG[i] = tail of B at x - u_i
 	gridPDF(s.A, h, n, pdfG)
 	gridTail(bmix, x, h, n, tailG)
-	acc := s.A.PDF(0)*s.B.Tail(x) + s.A.PDF(x)*s.B.Tail(0)
+	acc := s.A.PDF(0)*bx + s.A.PDF(x)*s.B.Tail(0)
 	for i := 1; i < n; i++ {
 		w := 2.0
 		if i%2 == 1 {
 			w = 4
 		}
-		acc += w * real(pdfG[i]) * real(tailG[i])
+		acc += w * pdfG[i] * tailG[i]
 	}
 	return head + acc*h/3
+}
+
+// isRealTerm reports whether every number in t is purely real (imaginary
+// parts exactly zero). Real terms — every D/E_K/1 dominant root's term, the
+// M/M/1 upstream terms and the packet-position ladder — take float64 fast
+// paths in the grid evaluators below: the complex arithmetic they replace
+// propagates exact signed-zero imaginary parts through every product, sum
+// and exponential, so the float64 mirror of the real components is
+// bit-identical, not approximately equal.
+func isRealTerm(t Term) bool {
+	if imag(t.Pole) != 0 {
+		return false
+	}
+	for _, c := range t.Coef {
+		if imag(c) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// divRe divides z by a real divisor componentwise. For a divisor with exact
+// zero imaginary part the runtime's scaled (Smith) complex division reduces
+// to exactly this — the cross ratio is a signed zero, so both quotient
+// components round identically — making the substitution bit-identical while
+// skipping the division's magnitude tests and scaling branches.
+func divRe(z complex128, d float64) complex128 {
+	return complex(real(z)/d, imag(z)/d)
 }
 
 // gridPDF accumulates the density of m at the interior grid points
 // u_i = h*i, i = 1..n-1, into g. Per term, e^{-p u} advances by one
 // multiplication per step with exact re-anchors (see expResetStride); the
-// Erlang ladder on top is the same arithmetic as Mix.PDF.
-func gridPDF(m Mix, h float64, n int, g []complex128) {
+// Erlang ladder on top is the same arithmetic as Mix.PDF. Purely real terms
+// run in float64 (see isRealTerm); complex single-coefficient terms skip the
+// ladder entirely; the final ladder advance of every term is dead and
+// elided. All three shortcuts are bit-identical to the plain loop.
+//
+// g holds only the real components: the Simpson sum never reads the
+// imaginary part of a grid value, complex accumulation is componentwise,
+// and Go's complex multiply computes its real component as exactly
+// real(a)*real(b) - imag(a)*imag(b) (no contraction), so accumulating that
+// expression alone — in the same term order — reproduces real(g[i]) bit for
+// bit while skipping the dead imaginary half of every contribution.
+func gridPDF(m Mix, h float64, n int, g []float64) {
+	g = g[:n]
 	for _, t := range m.Terms {
+		if isRealTerm(t) {
+			gridPDFReal(t, h, n, g)
+			continue
+		}
 		p := t.Pole
 		step := cmplx.Exp(-p * complex(h, 0))
-		var e complex128
-		for i := 1; i < n; i++ {
-			u := h * float64(i)
-			if (i-1)%expResetStride == 0 {
-				e = cmplx.Exp(-p * complex(u, 0))
-			} else if e != 0 {
+		last := len(t.Coef) - 1
+		// The anchor/recurrence cadence runs as explicit blocks of
+		// expResetStride points: an exact cmplx.Exp at the block head, one
+		// recurrence multiply per point after it — the same multiplication
+		// sequence as a per-point stride test, without the per-point modulo.
+		// An underflowed factor (e == 0) stays zero until the next anchor,
+		// so the rest of its block contributes nothing and is skipped.
+		if last == 0 {
+			// Single-coefficient term (every simple pole): no ladder, and
+			// the coefficient's components hoist out of the grid loop.
+			cr, ci := real(t.Coef[0]), imag(t.Coef[0])
+			for i := 1; i < n; {
+				e := cmplx.Exp(-p * complex(h*float64(i), 0))
+				end := i + expResetStride
+				if end > n {
+					end = n
+				}
+				for ; i < end; i++ {
+					if e == 0 {
+						i = end // deep-tail underflow: contribution is negligible
+						break
+					}
+					f := p * e // Erlang(1) density factor
+					g[i] += cr*real(f) - ci*imag(f)
+					e *= step
+				}
+			}
+			continue
+		}
+		for i := 1; i < n; {
+			e := cmplx.Exp(-p * complex(h*float64(i), 0))
+			end := i + expResetStride
+			if end > n {
+				end = n
+			}
+			for ; i < end; i++ {
+				if e == 0 {
+					i = end
+					break
+				}
+				f := p * e
+				pu := p * complex(h*float64(i), 0)
+				for k, c := range t.Coef {
+					g[i] += real(c)*real(f) - imag(c)*imag(f)
+					if k < last {
+						f *= divRe(pu, float64(k+1))
+					}
+				}
 				e *= step
 			}
+		}
+	}
+}
+
+// gridPDFReal is gridPDF's float64 mirror for purely real terms: identical
+// operations on the real components (the imaginary contributions of a real
+// term are signed zeros, which never change an accumulated sum).
+func gridPDFReal(t Term, h float64, n int, g []float64) {
+	p := real(t.Pole)
+	step := math.Exp(-p * h)
+	last := len(t.Coef) - 1
+	if last == 0 {
+		c := real(t.Coef[0])
+		for i := 1; i < n; {
+			e := math.Exp(-p * (h * float64(i)))
+			end := i + expResetStride
+			if end > n {
+				end = n
+			}
+			for ; i < end; i++ {
+				if e == 0 {
+					i = end
+					break
+				}
+				g[i] += c * (p * e)
+				e *= step
+			}
+		}
+		return
+	}
+	for i := 1; i < n; {
+		e := math.Exp(-p * (h * float64(i)))
+		end := i + expResetStride
+		if end > n {
+			end = n
+		}
+		for ; i < end; i++ {
 			if e == 0 {
-				continue // deep-tail underflow: contribution is negligible
+				i = end
+				break
 			}
-			pu := p * complex(u, 0)
-			f := p * e // Erlang(1) density factor
+			f := p * e
+			pu := p * (h * float64(i))
 			for k, c := range t.Coef {
-				g[i] += c * f
-				f *= pu / complex(float64(k+1), 0)
+				g[i] += real(c) * f
+				if k < last {
+					f *= pu / float64(k+1)
+				}
 			}
+			e *= step
 		}
 	}
 }
@@ -198,30 +358,112 @@ func gridPDF(m Mix, h float64, n int, g []complex128) {
 // gridTail accumulates the tail of m at v_i = x - h*i, i = 1..n-1, into g.
 // v decreases by h each step, so e^{-q v} advances by multiplying e^{q h};
 // the zero guard keeps an underflowed anchor from turning a large step
-// factor into NaN. The ladder matches termTail's arithmetic.
-func gridTail(m Mix, x, h float64, n int, g []complex128) {
+// factor into NaN. The ladder matches termTail's arithmetic, with the same
+// bit-identical shortcuts as gridPDF (float64 real terms, single-coefficient
+// specialization, dead final ladder advance elided).
+func gridTail(m Mix, x, h float64, n int, g []float64) {
+	g = g[:n]
 	for _, t := range m.Terms {
+		if isRealTerm(t) {
+			gridTailReal(t, x, h, n, g)
+			continue
+		}
 		q := t.Pole
 		step := cmplx.Exp(q * complex(h, 0))
-		var e complex128
-		for i := 1; i < n; i++ {
-			v := x - h*float64(i)
-			if (i-1)%expResetStride == 0 {
-				e = cmplx.Exp(-q * complex(v, 0))
-			} else if e != 0 {
+		last := len(t.Coef) - 1
+		if last == 0 {
+			cr, ci := real(t.Coef[0]), imag(t.Coef[0])
+			for i := 1; i < n; {
+				e := cmplx.Exp(-q * complex(x-h*float64(i), 0))
+				end := i + expResetStride
+				if end > n {
+					end = n
+				}
+				for ; i < end; i++ {
+					if e == 0 {
+						i = end
+						break
+					}
+					g[i] += cr*real(e) - ci*imag(e)
+					e *= step
+				}
+			}
+			continue
+		}
+		for i := 1; i < n; {
+			e := cmplx.Exp(-q * complex(x-h*float64(i), 0))
+			end := i + expResetStride
+			if end > n {
+				end = n
+			}
+			for ; i < end; i++ {
+				if e == 0 {
+					i = end
+					break
+				}
+				qv := q * complex(x-h*float64(i), 0)
+				term := e
+				partial := term
+				for k, c := range t.Coef {
+					g[i] += real(c)*real(partial) - imag(c)*imag(partial)
+					if k < last {
+						term *= divRe(qv, float64(k+1))
+						partial += term
+					}
+				}
 				e *= step
 			}
-			if e == 0 {
-				continue
+		}
+	}
+}
+
+// gridTailReal is gridTail's float64 mirror for purely real terms (see
+// gridPDFReal for why the mirror is bit-identical).
+func gridTailReal(t Term, x, h float64, n int, g []float64) {
+	q := real(t.Pole)
+	step := math.Exp(q * h)
+	last := len(t.Coef) - 1
+	if last == 0 {
+		c := real(t.Coef[0])
+		for i := 1; i < n; {
+			e := math.Exp(-q * (x - h*float64(i)))
+			end := i + expResetStride
+			if end > n {
+				end = n
 			}
-			qv := q * complex(v, 0)
+			for ; i < end; i++ {
+				if e == 0 {
+					i = end
+					break
+				}
+				g[i] += c * e
+				e *= step
+			}
+		}
+		return
+	}
+	for i := 1; i < n; {
+		e := math.Exp(-q * (x - h*float64(i)))
+		end := i + expResetStride
+		if end > n {
+			end = n
+		}
+		for ; i < end; i++ {
+			if e == 0 {
+				i = end
+				break
+			}
+			qv := q * (x - h*float64(i))
 			term := e
 			partial := term
 			for k, c := range t.Coef {
-				g[i] += c * partial
-				term *= qv / complex(float64(k+1), 0)
-				partial += term
+				g[i] += real(c) * partial
+				if k < last {
+					term *= qv / float64(k+1)
+					partial += term
+				}
 			}
+			e *= step
 		}
 	}
 }
@@ -233,12 +475,24 @@ func (s Sum) CDF(x float64) float64 { return s.TotalMass() - s.Tail(x) }
 func (s Sum) Quantile(p float64) (float64, error) { return s.QuantileHint(p, nil) }
 
 // QuantileHint is Quantile with an optional warm start carried in hint (see
-// TailHint). One borrowed workspace backs every tail evaluation of the
-// inversion, so the quadrature grids are allocated once per call, not once
-// per bracket probe.
+// TailHint): a QuantileHintWS drawing its workspace from the pool.
 func (s Sum) QuantileHint(p float64, hint *TailHint) (float64, error) {
-	ws, _ := borrowWS(nil)
-	defer releaseWS(ws)
-	tail := func(x float64) float64 { return s.TailWS(x, ws) }
-	return invertTail(tail, s.Mean(), p, 1e-10, hint)
+	return s.QuantileHintWS(p, hint, nil)
+}
+
+// QuantileHintWS is QuantileHint with the quadrature workspace supplied by
+// the caller (nil borrows a pooled one). One workspace backs every tail
+// evaluation of the inversion, so the Simpson grids are allocated once per
+// call, not once per bracket probe — and a caller walking many inversions
+// (a load sweep, a dimensioning bisection) keeps the grids warm across
+// points by holding one workspace for the whole walk.
+func (s Sum) QuantileHintWS(p float64, hint *TailHint, ws *Workspace) (float64, error) {
+	ws, pooled := borrowWS(ws)
+	if pooled {
+		defer releaseWS(ws)
+	}
+	sharp := s.sharpestDecay()
+	tail := func(x float64) float64 { return s.tailAt(x, ws, sharp) }
+	batch := func(xs, out []float64) { s.TailBatchWS(xs, out, ws) }
+	return invertTail(tail, batch, s.Mean(), p, 1e-10, hint)
 }

@@ -53,9 +53,14 @@ const maxDoubling = 200
 // monotone nonincreasing tail function. mean seeds the dyadic bracket
 // (non-positive values fall back to 1, matching the historical behavior),
 // tol is the absolute-plus-relative convergence tolerance, and hint may
-// carry a warm start (nil means cold). On success the hint is updated with
+// carry a warm start (nil means cold). tailBatch, when non-nil, evaluates
+// the tail at several abscissae sharing per-law setup (Sum.TailBatchWS);
+// the stage-1 walk uses it to probe bracket rungs in pairs. Every batched
+// value equals the corresponding tail(x) bit for bit, and an overshot
+// second probe is discarded, so batching changes only cost — the canonical
+// bracket and the root are unchanged. On success the hint is updated with
 // the solved abscissa.
-func invertTail(tail func(float64) float64, mean, p, tol float64, hint *TailHint) (float64, error) {
+func invertTail(tail func(float64) float64, tailBatch func(xs, out []float64), mean, p, tol float64, hint *TailHint) (float64, error) {
 	if !(p > 0 && p < 1) {
 		return 0, fmt.Errorf("%w: quantile level %g", ErrInvalid, p)
 	}
@@ -88,9 +93,32 @@ func invertTail(tail func(float64) float64, mean, p, tol float64, hint *TailHint
 	vloOK := false
 	v0 := tail(rung(j0))
 	if v0 > target {
-		// Walk up to the first rung at or under the target.
+		// Walk up to the first rung at or under the target. The first probe
+		// past j0 is single (warm walks usually stop there); from then on a
+		// batch evaluator probes two rungs per call — a long cold walk pays
+		// the per-probe setup half as often, and a pair straddling the
+		// canonical k supplies both bracket endpoints in one call.
 		prev := v0
-		for j := j0 + 1; j <= maxDoubling; j++ {
+		j := j0 + 1
+		for j <= maxDoubling {
+			if tailBatch != nil && j > j0+1 && j < maxDoubling {
+				var xs, vs [2]float64
+				xs[0], xs[1] = rung(j), rung(j+1)
+				tailBatch(xs[:], vs[:])
+				if vs[0] <= target {
+					k, vhi = j, vs[0]
+					vlo, vloOK = prev, true
+					break
+				}
+				if vs[1] <= target {
+					k, vhi = j+1, vs[1]
+					vlo, vloOK = vs[0], true
+					break
+				}
+				prev = vs[1]
+				j += 2
+				continue
+			}
 			v := tail(rung(j))
 			if v <= target {
 				k, vhi = j, v
@@ -98,6 +126,7 @@ func invertTail(tail func(float64) float64, mean, p, tol float64, hint *TailHint
 				break
 			}
 			prev = v
+			j++
 		}
 		if k < 0 {
 			return 0, fmt.Errorf("%w: tail does not reach %g", ErrInvalid, target)

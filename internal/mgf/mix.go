@@ -165,7 +165,9 @@ func (m Mix) Tail(x float64) float64 {
 
 // termTail computes sum_i coef_i * P(Erlang(i+1, pole) > x) in complex
 // arithmetic: e^{-px} * sum_{r<=i} (px)^r / r!, accumulated incrementally to
-// avoid overflow.
+// avoid overflow. The ladder advance past the last coefficient is dead and
+// skipped; the division by the real order uses the componentwise form (see
+// divRe) — both bit-identical to the plain loop.
 func termTail(t Term, x float64) complex128 {
 	px := t.Pole * complex(x, 0)
 	ex := cmplx.Exp(-px)
@@ -173,11 +175,14 @@ func termTail(t Term, x float64) complex128 {
 	term := ex // r = 0 term
 	partial := term
 	var sum complex128
+	last := len(t.Coef) - 1
 	for i, c := range t.Coef {
 		sum += c * partial
-		// Extend the inner sum for the next order.
-		term *= px / complex(float64(i+1), 0)
-		partial += term
+		if i < last {
+			// Extend the inner sum for the next order.
+			term *= divRe(px, float64(i+1))
+			partial += term
+		}
 	}
 	return sum
 }
@@ -195,9 +200,12 @@ func (m Mix) PDF(x float64) float64 {
 		px := t.Pole * complex(x, 0)
 		// density of Erlang(n, p): p e^{-px} (px)^{n-1}/(n-1)!
 		f := t.Pole * cmplx.Exp(-px) // n = 1
+		last := len(t.Coef) - 1
 		for i, c := range t.Coef {
 			sum += c * f
-			f *= px / complex(float64(i+1), 0)
+			if i < last {
+				f *= divRe(px, float64(i+1))
+			}
 		}
 	}
 	return real(sum)
@@ -212,7 +220,7 @@ func (m Mix) Quantile(p float64) (float64, error) { return m.QuantileHint(p, nil
 // probe already settles, and the refinement inside the bracket is identical
 // either way, so a warm inversion returns the same bits as a cold one.
 func (m Mix) QuantileHint(p float64, hint *TailHint) (float64, error) {
-	return invertTail(m.Tail, m.Mean(), p, 1e-12, hint)
+	return invertTail(m.Tail, nil, m.Mean(), p, 1e-12, hint)
 }
 
 // DominantPole returns the pole with the smallest real part (the slowest

@@ -11,8 +11,11 @@ import "sync"
 type Workspace struct {
 	// Mul scratch: coefficient ladder, Taylor coefficients, pole powers.
 	coef, taylor, powers []complex128
-	// Quadrature scratch: per-grid-point density of A and tail of B.
-	pdf, tail []complex128
+	// Quadrature scratch: per-grid-point density of A and tail of B. The
+	// Simpson sum consumes only the real part of every grid value and
+	// complex accumulation is componentwise, so the grids hold the real
+	// components alone (see gridPDF).
+	pdf, tail []float64
 }
 
 // cbuf returns a zeroed complex scratch slice of length n, growing buf as
@@ -20,6 +23,18 @@ type Workspace struct {
 func cbuf(buf *[]complex128, n int) []complex128 {
 	if cap(*buf) < n {
 		*buf = make([]complex128, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// fbuf is cbuf for float64 scratch.
+func fbuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
 	}
 	s := (*buf)[:n]
 	for i := range s {

@@ -137,3 +137,55 @@ func TestQuantileHintBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestSumTailBatchWSBitIdentical pins the batch evaluator's contract: every
+// entry equals the standalone TailWS bits exactly — the batch amortizes the
+// per-probe setup (workspace borrow, decay-rate scan), never the grid.
+func TestSumTailBatchWSBitIdentical(t *testing.T) {
+	sums := []Sum{
+		{A: NewErlang(1, 9, 0.3), B: NewErlang(1, 8, 0.25)},
+		{A: NewErlang(1, 9, 0.3), B: testMixes()[4]},
+	}
+	xs := []float64{0, 0.5, 5, 50, 200, 2000, 37.5, 5} // repeats and out-of-order on purpose
+	for si, s := range sums {
+		out := make([]float64, len(xs))
+		ws := new(Workspace)
+		s.TailBatchWS(xs, out, ws)
+		for i, x := range xs {
+			if want := s.Tail(x); out[i] != want {
+				t.Errorf("sum %d tail(%v): batch %v != standalone %v", si, x, out[i], want)
+			}
+		}
+		// nil workspace borrows from the pool; same bits.
+		out2 := make([]float64, len(xs))
+		s.TailBatchWS(xs, out2, nil)
+		for i := range xs {
+			if out2[i] != out[i] {
+				t.Errorf("sum %d probe %d: pooled-ws batch %v != explicit-ws %v", si, i, out2[i], out[i])
+			}
+		}
+	}
+}
+
+// BenchmarkSumTailBatch measures the batched tail evaluation the quantile
+// inversion's bracket walk uses, against the same probes evaluated one
+// TailWS call at a time.
+func BenchmarkSumTailBatch(b *testing.B) {
+	s := Sum{A: NewErlang(1, 9, 0.3), B: NewErlang(1, 8, 0.25)}
+	xs := []float64{12.5, 25, 50, 100, 200, 400}
+	out := make([]float64, len(xs))
+	ws := new(Workspace)
+	s.TailBatchWS(xs, out, ws) // warm the grids
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.TailBatchWS(xs, out, ws)
+		}
+	})
+	b.Run("pointwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, x := range xs {
+				out[j] = s.TailWS(x, ws)
+			}
+		}
+	})
+}

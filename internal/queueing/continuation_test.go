@@ -1,0 +1,235 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// walkLoads is the load axis the continuation contract is pinned over:
+// the paper's grid ascending and the same grid reversed (seeds work in
+// either direction; validation, not monotonicity, guarantees correctness).
+func walkLoads() [][]float64 {
+	up := make([]float64, 18)
+	for i := range up {
+		up[i] = 0.05 + float64(i)*0.05
+	}
+	down := make([]float64, len(up))
+	for i := range down {
+		down[i] = up[len(up)-1-i]
+	}
+	return [][]float64{up, down}
+}
+
+// TestDEK1SolveFromBitIdenticalToSolve is the continuation contract at the
+// root level: warm-starting each solve from the neighbouring load's solution
+// must return exactly the bits of a cold solve, at every point of the walk,
+// in both directions.
+func TestDEK1SolveFromBitIdenticalToSolve(t *testing.T) {
+	for _, k := range []int{2, 9, 20, 28} {
+		for wi, loads := range walkLoads() {
+			var prev *DEK1Solution
+			for _, rho := range loads {
+				q, err := NewDEK1(k, rho*0.060, 0.060)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, err := q.SolveFrom(prev)
+				if err != nil {
+					t.Fatalf("K=%d walk %d rho=%v: warm: %v", k, wi, rho, err)
+				}
+				cold, err := q.Solve()
+				if err != nil {
+					t.Fatalf("K=%d walk %d rho=%v: cold: %v", k, wi, rho, err)
+				}
+				wz, cz := warm.Zetas(), cold.Zetas()
+				for i := range wz {
+					if wz[i] != cz[i] {
+						t.Errorf("K=%d walk %d rho=%v root %d: warm %v != cold %v",
+							k, wi, rho, i, wz[i], cz[i])
+					}
+				}
+				prev = warm
+			}
+		}
+	}
+}
+
+// TestDEK1SolveFromFallback pins the fallback rule: a seed set the Newton
+// polish cannot rescue — or a prev of the wrong shape — must fall back to
+// the cold solve and return its exact bits, never an error or a degraded
+// solution.
+func TestDEK1SolveFromFallback(t *testing.T) {
+	q, err := NewDEK1(9, 0.030, 0.060)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := q.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewDEK1(5, 0.030, 0.060)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherSol, err := other.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds far outside every Newton basin: exp((z-1)/rho) overflows and the
+	// polish walks into NaN, so every residual check fails.
+	bogus := &DEK1Solution{q: q, zs: make([]complex128, q.K)}
+	for i := range bogus.zs {
+		bogus.zs[i] = complex(800, 0)
+	}
+	for name, prev := range map[string]*DEK1Solution{
+		"nil":        nil,
+		"wrong-K":    otherSol,
+		"bad-seeds":  bogus,
+		"bad-length": {q: q, zs: make([]complex128, 3)},
+	} {
+		warm, err := q.SolveFrom(prev)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wz, cz := warm.Zetas(), cold.Zetas()
+		for i := range wz {
+			if wz[i] != cz[i] {
+				t.Errorf("%s root %d: fallback %v != cold %v", name, i, wz[i], cz[i])
+			}
+		}
+	}
+}
+
+// TestMEK1SolveFromBitIdenticalToSolve is the same contract for the M/E_K/1
+// continuation: a warm solve seeded by the neighbouring arrival rate's roots
+// must return exactly the bits of the cold PolyRoots factorization.
+func TestMEK1SolveFromBitIdenticalToSolve(t *testing.T) {
+	for _, k := range []int{2, 9, 20} {
+		meanService := float64(k) / 300.0 // beta = 300
+		for wi, loads := range walkLoads() {
+			var prev *MEK1Solution
+			for _, rho := range loads {
+				q, err := NewMEK1(rho/meanService, k, 300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warm, err := q.SolveFrom(prev)
+				if err != nil {
+					t.Fatalf("K=%d walk %d rho=%v: warm: %v", k, wi, rho, err)
+				}
+				cold, err := q.Solve()
+				if err != nil {
+					t.Fatalf("K=%d walk %d rho=%v: cold: %v", k, wi, rho, err)
+				}
+				for i := range warm.zs {
+					if warm.zs[i] != cold.zs[i] {
+						t.Errorf("K=%d walk %d rho=%v root %d: warm %v != cold %v",
+							k, wi, rho, i, warm.zs[i], cold.zs[i])
+					}
+				}
+				prev = warm
+			}
+		}
+	}
+}
+
+// TestMEK1SolveFromFallback pins the M/E_K/1 fallback rule for degenerate
+// seed sets: NaN seeds, duplicate seeds (two seeds collapsing onto one
+// root), a wrong-K prev and nil all return the cold bits.
+func TestMEK1SolveFromFallback(t *testing.T) {
+	q, err := NewMEK1(150, 9, 2700) // rho = 0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := q.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewMEK1(150, 5, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherSol, err := other.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nans := &MEK1Solution{q: q, zs: make([]complex128, q.K)}
+	for i := range nans.zs {
+		nans.zs[i] = complex(math.NaN(), 0)
+	}
+	dups := &MEK1Solution{q: q, zs: make([]complex128, q.K)}
+	for i := range dups.zs {
+		dups.zs[i] = cold.zs[0] // every seed in the same Newton basin
+	}
+	for name, prev := range map[string]*MEK1Solution{
+		"nil":       nil,
+		"wrong-K":   otherSol,
+		"nan-seeds": nans,
+		"dup-seeds": dups,
+	} {
+		warm, err := q.SolveFrom(prev)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range warm.zs {
+			if warm.zs[i] != cold.zs[i] {
+				t.Errorf("%s root %d: fallback %v != cold %v", name, i, warm.zs[i], cold.zs[i])
+			}
+		}
+	}
+}
+
+// TestDEK1SelfConjugateBranchReal pins the even-K negative-axis branch
+// (k = K/2+1, phase pi): its root is mathematically real, and the canonical
+// snap stage must flush the e^{i*pi} rounding dust so the stored root is
+// exactly real — the property that makes warm and cold solves agree bitwise
+// on that branch.
+func TestDEK1SelfConjugateBranchReal(t *testing.T) {
+	for _, k := range []int{2, 10, 20} {
+		for _, rho := range []float64{0.3, 0.45, 0.8} {
+			q, err := NewDEK1(k, rho*0.060, 0.060)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := q.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			z := sol.Zetas()[k/2] // branch K/2+1 at index K/2
+			if imag(z) != 0 {
+				t.Errorf("K=%d rho=%v: zeta_%d = %v has nonzero imaginary part", k, rho, k/2+1, z)
+			}
+			if real(z) >= 0 {
+				t.Errorf("K=%d rho=%v: zeta_%d = %v not on the negative axis", k, rho, k/2+1, z)
+			}
+		}
+	}
+}
+
+// BenchmarkDEK1SolveVsSolveFrom measures the root-level continuation win:
+// cold is the Appendix-C fixed-point iteration from zero, warm seeds Newton
+// with the neighbouring load's roots.
+func BenchmarkDEK1SolveVsSolveFrom(b *testing.B) {
+	q, err := NewDEK1(9, 0.030, 0.060)
+	if err != nil {
+		b.Fatal(err)
+	}
+	neighbour, err := DEK1{K: 9, MeanBurst: 0.027, T: 0.060}.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.SolveFrom(neighbour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

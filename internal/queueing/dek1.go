@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"fpsping/internal/mgf"
+	"fpsping/internal/xmath"
 )
 
 // DEK1 is the D/E_K/1 queue of §3.2: bursts arrive every T seconds and bring
@@ -42,21 +43,115 @@ func (q DEK1) Load() float64 { return q.MeanBurst / q.T }
 // Beta returns the Erlang rate parameter beta = K/MeanBurst (1/s).
 func (q DEK1) Beta() float64 { return float64(q.K) / q.MeanBurst }
 
+// rootMap returns the contraction g_k of the paper's eq. (26) for root index
+// k (1-based): g(z) = exp((z-1)/rho + 2*pi*i*(k-1)/K). Roots solve z = g(z).
+func (q DEK1) rootMap(k int) func(complex128) complex128 {
+	rho := q.Load()
+	phase := complex(0, 2*math.Pi*float64(k-1)/float64(q.K))
+	return func(z complex128) complex128 {
+		return cmplx.Exp((z-1)/complex(rho, 0) + phase)
+	}
+}
+
+// zetaResidualTol is the acceptance threshold on |z - g_k(z)|: a converged
+// root sits at machine precision (~1e-16), so 1e-10 flags genuine
+// misconvergence without tripping on rounding.
+const zetaResidualTol = 1e-10
+
+// polishZeta runs the Newton polish on h(z) = z - g(z), h'(z) = 1 - g(z)/rho
+// from the given start. The iterates are a deterministic function of
+// (start, rho, k), which is what makes seed canonicalization (see
+// xmath.SnapSeed) produce path-independent bits.
+func (q DEK1) polishZeta(g func(complex128) complex128, z complex128) complex128 {
+	rho := q.Load()
+	for i := 0; i < 50; i++ {
+		gz := g(z)
+		h := z - gz
+		dh := 1 - gz/complex(rho, 0)
+		if dh == 0 {
+			break
+		}
+		step := h / dh
+		z -= step
+		if cmplx.Abs(step) < 1e-16 {
+			break
+		}
+	}
+	return z
+}
+
+// finishZeta applies the canonical final stage shared by the cold and warm
+// solvers — polish, snap the converged value to the canonical seed grid,
+// re-polish from the snapped seed — and validates the result. Both paths
+// reach the same snapped seed (their pre-snap roots agree far below the grid
+// spacing), so the returned bits do not depend on how the iteration was
+// seeded. The residual and half-plane checks hold the result to the same
+// standard as a cold solve.
+func (q DEK1) finishZeta(k int, z complex128) (complex128, error) {
+	g := q.rootMap(k)
+	z = q.polishZeta(g, z)
+	z = q.polishZeta(g, xmath.SnapSeedC(z))
+	// Branches with a mathematically real root — k = 1 (phase 0) and, for
+	// even K, k = K/2+1 (phase pi, the negative real axis) — pick up
+	// imaginary rounding dust of size ~eps*|z| from sin(pi) inside cmplx.Exp
+	// that Newton cannot contract below its stopping threshold. Flush it so
+	// the stored root is exactly real, as the conjugate symmetry of eq. (26)
+	// requires; the residual check below still judges the flushed value.
+	if k == 1 || 2*(k-1) == q.K {
+		z = complex(real(z), 0)
+	}
+	// Negated-form comparisons so a NaN residual or component (a seed the
+	// polish diverged from) fails validation rather than slipping past it.
+	if res := cmplx.Abs(z - g(z)); !(res <= zetaResidualTol) {
+		return 0, fmt.Errorf("queueing: zeta_%d residual %g (rho=%g, K=%d)", k, res, q.Load(), q.K)
+	}
+	if !(real(z) < 1) {
+		return 0, fmt.Errorf("queueing: zeta_%d = %v outside Re z < 1", k, z)
+	}
+	return z, nil
+}
+
 // Zetas returns the K roots zeta_k (k = 1..K) of the paper's eq. (26):
 //
 //	z = exp((z-1)/rho + 2*pi*i*(k-1)/K),  Re z < 1,
 //
 // found by the fixed-point iteration Appendix C proves convergent, polished
 // with a complex Newton step. zeta_1 is real in (0,1); the remaining roots
-// come in conjugate pairs.
+// come in conjugate pairs. One-shot form of Solve(): the returned slice is
+// the caller's to keep.
 func (q DEK1) Zetas() ([]complex128, error) {
-	rho := q.Load()
-	out := make([]complex128, q.K)
+	sol, err := q.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return append([]complex128(nil), sol.zs...), nil
+}
+
+// DEK1Solution is a solved set of eq.-(26) roots, the expensive part of the
+// D/E_K/1 waiting-time law. Root k lives at index k-1 — the index, not the
+// value, identifies which branch of eq. (26) a root solves — which is what
+// lets a neighbouring load's solution seed this one (SolveFrom) and keeps
+// the downstream term order canonical. The solution is immutable once built.
+type DEK1Solution struct {
+	q  DEK1
+	zs []complex128
+}
+
+// Queue returns the queue the solution solves.
+func (sol *DEK1Solution) Queue() DEK1 { return sol.q }
+
+// Zetas returns a copy of the solved roots, zeta_k at index k-1.
+func (sol *DEK1Solution) Zetas() []complex128 {
+	return append([]complex128(nil), sol.zs...)
+}
+
+// Solve finds the K roots cold: the Appendix-C fixed-point iteration from
+// zero, then the canonical polish stage (see finishZeta). Poles, Weights and
+// WaitMix on the solution are pure arithmetic over the stored roots.
+func (q DEK1) Solve() (*DEK1Solution, error) {
+	zs := make([]complex128, q.K)
 	for k := 1; k <= q.K; k++ {
-		phase := complex(0, 2*math.Pi*float64(k-1)/float64(q.K))
-		g := func(z complex128) complex128 {
-			return cmplx.Exp((z-1)/complex(rho, 0) + phase)
-		}
+		g := q.rootMap(k)
 		z := complex(0, 0)
 		for i := 0; i < 20000; i++ {
 			nz := g(z)
@@ -66,44 +161,68 @@ func (q DEK1) Zetas() ([]complex128, error) {
 			}
 			z = nz
 		}
-		// Newton polish on h(z) = z - g(z), h'(z) = 1 - g(z)/rho.
-		for i := 0; i < 50; i++ {
-			gz := g(z)
-			h := z - gz
-			dh := 1 - gz/complex(rho, 0)
-			if dh == 0 {
-				break
-			}
-			step := h / dh
-			z -= step
-			if cmplx.Abs(step) < 1e-16 {
-				break
-			}
+		var err error
+		if zs[k-1], err = q.finishZeta(k, z); err != nil {
+			return nil, err
 		}
-		if res := cmplx.Abs(z - g(z)); res > 1e-10 {
-			return nil, fmt.Errorf("queueing: zeta_%d residual %g (rho=%g, K=%d)", k, res, rho, q.K)
-		}
-		if real(z) >= 1 {
-			return nil, fmt.Errorf("queueing: zeta_%d = %v outside Re z < 1", k, z)
-		}
-		out[k-1] = z
 	}
-	return out, nil
+	return &DEK1Solution{q: q, zs: zs}, nil
+}
+
+// SolveFrom is the continuation solver: it seeds each root's Newton
+// iteration with the neighbouring solution's polished root of the same index
+// instead of running the cold fixed-point iteration, then applies the same
+// canonical polish stage, so a warm solve returns exactly the bits of
+// q.Solve(). A root that fails the residual or half-plane check, or a root
+// pair the warm iteration collapsed together (the seeds straddled a Newton
+// basin boundary), falls back to the cold solve automatically — continuation
+// can change only the cost of a solution, never its value. prev may be nil
+// or for a different K; both fall back cold.
+func (q DEK1) SolveFrom(prev *DEK1Solution) (*DEK1Solution, error) {
+	if prev == nil || prev.q.K != q.K || len(prev.zs) != q.K {
+		return q.Solve()
+	}
+	zs := make([]complex128, q.K)
+	for k := 1; k <= q.K; k++ {
+		z, err := q.finishZeta(k, prev.zs[k-1])
+		if err != nil {
+			return q.Solve()
+		}
+		zs[k-1] = z
+	}
+	// Distinct-root pairing check: eq. (26) has one root per branch index, so
+	// two equal entries mean a seed escaped its basin and doubled up on a
+	// neighbouring branch's root.
+	for i := 1; i < q.K; i++ {
+		for j := 0; j < i; j++ {
+			if d := cmplx.Abs(zs[i] - zs[j]); d <= 1e-12*(1+cmplx.Abs(zs[i])) {
+				return q.Solve()
+			}
+		}
+	}
+	return &DEK1Solution{q: q, zs: zs}, nil
 }
 
 // Poles returns the K poles alpha_k = beta*(1 - zeta_k) of the waiting-time
-// MGF (eq. 25). All have positive real part for a stable queue.
+// MGF (eq. 25). All have positive real part for a stable queue. One-shot
+// form of Solve().Poles().
 func (q DEK1) Poles() ([]complex128, error) {
-	zs, err := q.Zetas()
+	sol, err := q.Solve()
 	if err != nil {
 		return nil, err
 	}
-	beta := complex(q.Beta(), 0)
-	out := make([]complex128, len(zs))
-	for i, z := range zs {
+	return sol.Poles(), nil
+}
+
+// Poles returns the K poles alpha_k = beta*(1 - zeta_k) of eq. (25) over the
+// solved roots.
+func (sol *DEK1Solution) Poles() []complex128 {
+	beta := complex(sol.q.Beta(), 0)
+	out := make([]complex128, len(sol.zs))
+	for i, z := range sol.zs {
 		out[i] = beta * (1 - z)
 	}
-	return out, nil
+	return out
 }
 
 // Weights returns the residues a_j of eq. (27):
@@ -111,14 +230,17 @@ func (q DEK1) Poles() ([]complex128, error) {
 //	a_j = zeta_j^K * prod_{k != j} (zeta_k - 1)/(zeta_k - zeta_j),
 //
 // the solution of the Vandermonde system sum_j a_j zeta_j^{-k} = 1
-// (k = 1..K) from Appendix D.
+// (k = 1..K) from Appendix D. One-shot form of Solve().Weights().
 func (q DEK1) Weights() ([]complex128, error) {
-	zs, err := q.Zetas()
+	sol, err := q.Solve()
 	if err != nil {
 		return nil, err
 	}
-	return weightsFromZetas(zs), nil
+	return sol.Weights(), nil
 }
+
+// Weights returns the eq.-(27) residues over the solved roots.
+func (sol *DEK1Solution) Weights() []complex128 { return weightsFromZetas(sol.zs) }
 
 func weightsFromZetas(zs []complex128) []complex128 {
 	k := len(zs)
@@ -145,10 +267,18 @@ func weightsFromZetas(zs []complex128) []complex128 {
 // the waiting probability P(W>0) <= P(burst > T) is below ~1e-14; the exact
 // unit atom is returned in that regime.
 func (q DEK1) WaitMix() (mgf.Mix, error) {
-	zs, err := q.Zetas()
+	sol, err := q.Solve()
 	if err != nil {
 		return mgf.Mix{}, err
 	}
+	return sol.WaitMix()
+}
+
+// WaitMix builds the eq.-(18) waiting-time law over the solved roots; see
+// DEK1.WaitMix for the law and the low-load unit-atom regime.
+func (sol *DEK1Solution) WaitMix() (mgf.Mix, error) {
+	q := sol.q
+	zs := sol.zs
 	// |zeta_1| bounds every |zeta_k| (Appendix C). Below the threshold the
 	// continuous part is smaller than any tail of interest by orders of
 	// magnitude, and the weight products are no longer computable in

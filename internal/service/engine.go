@@ -282,16 +282,20 @@ type pointMemo struct {
 
 // point answers one sweep point through the shared per-scenario memo,
 // computing (and storing) it only when neither a previous sweep nor a
-// /v1/rtt evaluation has seen the scenario.
-func (e *Engine) point(psc scenario.Scenario) (pointMemo, error) {
+// /v1/rtt evaluation has seen the scenario. A cold computation runs through
+// the caller's LoadPath, continuing the walk's root solves and quantile
+// warm starts; a cache hit reseeds the path from the memoized compiled
+// model instead, so a walk over partially cached loads keeps warm-starting.
+// Either way the answer is bit-identical to an independent cold evaluation
+// (the LoadPath contract), so the cache stays invisible in values.
+func (e *Engine) point(path *core.LoadPath, psc scenario.Scenario, rho float64) (pointMemo, error) {
 	v, _, err := e.memo("pt|"+psc.Canonical(), func() (any, error) {
 		e.computes.Add(1)
-		at := psc.Model()
-		cm, err := at.Compile()
+		cm, err := path.Compile(rho)
 		if err == nil {
 			var rtt float64
-			if rtt, err = cm.RTTQuantile(); err == nil {
-				return pointMemo{Gamers: at.Gamers, RTT: rtt, Compiled: cm}, nil
+			if rtt, err = path.Quantile(cm); err == nil {
+				return pointMemo{Gamers: cm.Model.Gamers, RTT: rtt, Compiled: cm}, nil
 			}
 		}
 		if errors.Is(err, core.ErrUnstable) {
@@ -302,17 +306,24 @@ func (e *Engine) point(psc scenario.Scenario) (pointMemo, error) {
 	if err != nil {
 		return pointMemo{}, err
 	}
-	return v.(pointMemo), nil
+	pm := v.(pointMemo)
+	// Adopt a hit's (or a joined in-flight computation's) solution as the
+	// continuation seed; a no-op when this call computed it itself.
+	path.Reseed(pm.Compiled)
+	return pm, nil
 }
 
 // pointAt resolves the scenario at downlink load rho through the shared
 // per-scenario point memo, mapping a memoized unstable marker back to
 // core.ErrUnstable. It is the one evaluator behind both sweep grids and
-// dimensioning bisections, which is what makes their point reuse bit-exact.
-func (e *Engine) pointAt(sc scenario.Scenario, rho float64) (pointMemo, error) {
+// dimensioning bisections, which is what makes their point reuse bit-exact;
+// each walk passes its own LoadPath so cold points continue from their
+// neighbours. Scenario load shorthand and core.WithDownlinkLoad resolve N
+// identically, so the memo key and the path's model always agree.
+func (e *Engine) pointAt(path *core.LoadPath, sc scenario.Scenario, rho float64) (pointMemo, error) {
 	psc := sc
 	psc.Load = rho
-	pm, err := e.point(psc)
+	pm, err := e.point(path, psc, rho)
 	if err != nil {
 		return pointMemo{}, err
 	}
@@ -328,12 +339,15 @@ func (e *Engine) pointAt(sc scenario.Scenario, rho float64) (pointMemo, error) {
 // and the daemon alike.
 func (e *Engine) computeSweep(sc scenario.Scenario, from, to, step float64) (SweepResult, error) {
 	pts, err := sc.Model().SweepGridWith(core.LoadGrid(from, to, step), e.jobs,
-		func(rho float64) (core.SweepPoint, error) {
-			pm, err := e.pointAt(sc, rho)
-			if err != nil {
-				return core.SweepPoint{}, err
+		func() func(rho float64) (core.SweepPoint, error) {
+			path := sc.Model().NewLoadPath()
+			return func(rho float64) (core.SweepPoint, error) {
+				pm, err := e.pointAt(path, sc, rho)
+				if err != nil {
+					return core.SweepPoint{}, err
+				}
+				return core.SweepPoint{Load: rho, Gamers: pm.Gamers, RTT: pm.RTT}, nil
 			}
-			return core.SweepPoint{Load: rho, Gamers: pm.Gamers, RTT: pm.RTT}, nil
 		})
 	if err != nil {
 		return SweepResult{}, err
@@ -371,8 +385,9 @@ func (e *Engine) Dimension(sc scenario.Scenario, boundMs float64) (DimensionResu
 	}
 	key := fmt.Sprintf("dim|%s|%g", sc.Canonical(), boundMs)
 	v, shared, err := e.memo(key, func() (any, error) {
+		path := sc.Model().NewLoadPath()
 		res, err := sc.Model().MaxLoadWith(boundMs/1000, func(rho float64) (float64, error) {
-			pm, err := e.pointAt(sc, rho)
+			pm, err := e.pointAt(path, sc, rho)
 			if err != nil {
 				return 0, err
 			}
