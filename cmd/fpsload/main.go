@@ -18,6 +18,17 @@
 //
 // CI gating: -max-errors and -hit-floor turn the report into an exit code,
 // and -json writes the machine-readable artifact.
+//
+// Cluster runs: point -addr at an fpsrouter and list the individual replica
+// base URLs with -replicas to get a per-replica breakdown (requests, hits,
+// computes from each replica's own counters). -affinity-probes N then proves
+// scenario affinity end to end: N fresh keys, each sent repeatedly through
+// the router, each required to land all its traffic — and exactly one
+// compute — on a single replica.
+//
+//	fpsload -addr http://127.0.0.1:7910 \
+//	  -replicas http://127.0.0.1:7911,http://127.0.0.1:7912,http://127.0.0.1:7913 \
+//	  -mix hot -duration 10s -max-errors 0 -hit-floor 0.95 -affinity-probes 4
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,8 +71,20 @@ func run(args []string) error {
 	jsonPath := fs.String("json", "", "also write the report as JSON to this path")
 	maxErrors := fs.Int("max-errors", -1, "exit 1 when warmup+measured errors exceed this (-1 = no gate)")
 	hitFloor := fs.Float64("hit-floor", -1, "exit 1 when the measured cache hit ratio is below this (-1 = no gate)")
+	replicas := fs.String("replicas", "", "comma-separated replica base URLs behind a router -addr (adds a per-replica report section)")
+	affinityProbes := fs.Int("affinity-probes", 0, "after the run, prove scenario affinity with this many fresh keys (requires -replicas; exit 1 on failure)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var replicaAddrs []string
+	for _, addr := range strings.Split(*replicas, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			replicaAddrs = append(replicaAddrs, addr)
+		}
+	}
+	if *affinityProbes > 0 && len(replicaAddrs) < 2 {
+		return fmt.Errorf("-affinity-probes needs -replicas with at least 2 addresses")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,13 +119,35 @@ func run(args []string) error {
 		Count:          *count,
 		Duration:       *duration,
 		RequestTimeout: *timeout,
+		ReplicaAddrs:   replicaAddrs,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.Text())
+
+	var affinity *load.AffinityReport
+	if *affinityProbes > 0 {
+		affinity, err = load.CheckAffinity(ctx, load.AffinityConfig{
+			Router:         cli,
+			ReplicaAddrs:   replicaAddrs,
+			Probes:         *affinityProbes,
+			Seed:           *seed,
+			RequestTimeout: *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(affinity.Text())
+	}
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
+		// The affinity section embeds alongside the report's own top-level
+		// fields, so existing jq gates keep working unchanged.
+		artifact := struct {
+			*load.Report
+			Affinity *load.AffinityReport `json:"affinity,omitempty"`
+		}{rep, affinity}
+		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -120,6 +166,10 @@ func run(args []string) error {
 		if rep.Cache.HitRatio < *hitFloor {
 			return fmt.Errorf("cache hit ratio %.3f below the -hit-floor %g gate", rep.Cache.HitRatio, *hitFloor)
 		}
+	}
+	if affinity != nil && !affinity.OK {
+		return fmt.Errorf("affinity check failed: %d/%d probes pinned to a single replica",
+			affinity.Passed, len(affinity.Probes))
 	}
 	return nil
 }

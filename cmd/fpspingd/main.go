@@ -139,6 +139,9 @@ func run(cfg config) error {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip /healthz to draining first so a router stops sending new traffic
+	// while Shutdown waits on in-flight requests.
+	srv.BeginDrain()
 	log.Printf("fpspingd: draining (up to %s)", cfg.drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()

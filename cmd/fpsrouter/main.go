@@ -1,0 +1,209 @@
+// Command fpsrouter scales fpspingd horizontally without losing its cache:
+// a reverse proxy that consistent-hashes every request's canonical scenario
+// key (internal/scenario) onto a ring of fpspingd replicas, so each
+// scenario's memoized computation lives on exactly one replica no matter how
+// the question is spelled. Batches are split by per-item key and re-merged
+// in order; replica health is polled off /healthz (distinguishing draining
+// from dead); failed forwards retry the next ring owner behind a per-replica
+// circuit breaker.
+//
+//	fpsrouter -addr 127.0.0.1:7910 \
+//	    -replicas http://127.0.0.1:7911,http://127.0.0.1:7912,http://127.0.0.1:7913
+//
+// The same ring and policies power a deterministic cluster simulator:
+//
+//	fpsrouter -sim            # policy comparison (affinity vs random vs
+//	fpsrouter -sim -sim-json  # round-robin), byte-reproducible at any -sim-jobs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fpsping/internal/cluster"
+)
+
+// config is the router's parsed command line.
+type config struct {
+	addr            string
+	replicas        []string
+	vnodes          int
+	policy          string
+	seed            uint64
+	loadFactor      float64
+	healthInterval  time.Duration
+	breakerFailures int
+	breakerCooldown time.Duration
+	timeout         time.Duration
+	drain           time.Duration
+
+	sim         bool
+	simJSON     bool
+	simJobs     int
+	simReplicas int
+	simRequests int
+	simSeed     uint64
+}
+
+// parseFlags parses and validates the command line; nonsensical values are a
+// usage error at startup, never a silently coerced running router.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("fpsrouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	var replicas string
+	var seed, simSeed uint64
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:7910", "listen address (host:port)")
+	fs.StringVar(&replicas, "replicas", "", "comma-separated fpspingd base URLs (required unless -sim)")
+	fs.IntVar(&cfg.vnodes, "vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	fs.StringVar(&cfg.policy, "policy", cluster.PolicyAffinity,
+		"routing policy: affinity (consistent-hash the scenario key), random, or roundrobin")
+	fs.Uint64Var(&seed, "seed", 1, "seed for the random policy's draws")
+	fs.Float64Var(&cfg.loadFactor, "load-factor", 0,
+		"bounded-load factor (> 1 spills past an overloaded owner to the next ring candidate; 0 = pure affinity)")
+	fs.DurationVar(&cfg.healthInterval, "health-interval", time.Second, "replica /healthz polling period")
+	fs.IntVar(&cfg.breakerFailures, "breaker-failures", 3, "consecutive forwarding failures that open a replica's circuit")
+	fs.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second, "how long an open circuit rejects a replica")
+	fs.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "per-forwarded-request timeout")
+	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
+
+	fs.BoolVar(&cfg.sim, "sim", false, "run the deterministic cluster simulator instead of serving")
+	fs.BoolVar(&cfg.simJSON, "sim-json", false, "emit the simulator comparison as JSON instead of text")
+	fs.IntVar(&cfg.simJobs, "sim-jobs", 1, "simulator worker count (the report is byte-identical at any value)")
+	fs.IntVar(&cfg.simReplicas, "sim-replicas", 0, "simulated cluster size (0 = default)")
+	fs.IntVar(&cfg.simRequests, "sim-requests", 0, "simulated request count (0 = default)")
+	fs.Uint64Var(&simSeed, "sim-seed", 0, "simulator seed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.seed, cfg.simSeed = seed, simSeed
+	if replicas != "" {
+		for _, r := range strings.Split(replicas, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				cfg.replicas = append(cfg.replicas, r)
+			}
+		}
+	}
+	fail := func(err error) (config, error) {
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return cfg, err
+	}
+	if !cfg.sim && len(cfg.replicas) == 0 {
+		return fail(errors.New("fpsrouter: -replicas is required (or -sim)"))
+	}
+	if cfg.vnodes <= 0 || cfg.vnodes > cluster.MaxVNodes {
+		return fail(fmt.Errorf("fpsrouter: -vnodes %d outside 1..%d", cfg.vnodes, cluster.MaxVNodes))
+	}
+	if cfg.loadFactor != 0 && cfg.loadFactor <= 1 {
+		return fail(fmt.Errorf("fpsrouter: -load-factor %g must be > 1 (or 0 to disable)", cfg.loadFactor))
+	}
+	if cfg.simReplicas < 0 || cfg.simRequests < 0 || cfg.simJobs < 0 {
+		return fail(errors.New("fpsrouter: negative -sim-* value (0 means the default)"))
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
+		os.Exit(2)
+	}
+	if cfg.sim {
+		if err := runSim(cfg, os.Stdout); err != nil {
+			log.Fatal("fpsrouter: ", err)
+		}
+		return
+	}
+	if err := run(cfg); err != nil {
+		log.Fatal("fpsrouter: ", err)
+	}
+}
+
+// runSim answers the capacity-planning question offline: the policy
+// comparison for the configured cluster shape, byte-reproducible.
+func runSim(cfg config, stdout io.Writer) error {
+	sim := cluster.DefaultSimConfig()
+	if cfg.simReplicas > 0 {
+		sim.Replicas = cfg.simReplicas
+	}
+	if cfg.simRequests > 0 {
+		sim.Requests = cfg.simRequests
+	}
+	if cfg.simSeed != 0 {
+		sim.Seed = cfg.simSeed
+	}
+	cmp, err := cluster.ComparePolicies(sim, nil, cfg.simJobs)
+	if err != nil {
+		return err
+	}
+	if cfg.simJSON {
+		_, err = stdout.Write(cmp.JSON())
+		return err
+	}
+	_, err = io.WriteString(stdout, cmp.Text())
+	return err
+}
+
+func run(cfg config) error {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:        cfg.replicas,
+		VNodes:          cfg.vnodes,
+		Policy:          cfg.policy,
+		Seed:            cfg.seed,
+		LoadFactor:      cfg.loadFactor,
+		HealthInterval:  cfg.healthInterval,
+		BreakerFailures: cfg.breakerFailures,
+		BreakerCooldown: cfg.breakerCooldown,
+		Timeout:         cfg.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx)
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("fpsrouter: routing %d replicas on http://%s (policy=%s vnodes=%d load-factor=%g)",
+		len(cfg.replicas), cfg.addr, cfg.policy, cfg.vnodes, cfg.loadFactor)
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("fpsrouter: draining (up to %s)", cfg.drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}

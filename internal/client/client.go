@@ -235,16 +235,22 @@ func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 	return ParseMetrics(data)
 }
 
-// WaitReady polls /healthz until the daemon answers, the context is
-// canceled, or timeout elapses — the standard way to sequence "boot daemon,
-// then load it" in scripts and CI.
+// WaitReady polls /healthz until the daemon answers and reports Ready, the
+// context is canceled, or timeout elapses — the standard way to sequence
+// "boot daemon, then load it" in scripts and CI. A reachable-but-draining
+// daemon (alive, ready=false) keeps WaitReady waiting, so a freshly
+// restarted replica is never declared ready off a stale predecessor.
 func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var lastErr error
 	for {
-		if _, lastErr = c.Health(ctx); lastErr == nil {
+		var h service.Health
+		if h, lastErr = c.Health(ctx); lastErr == nil && h.Ready {
 			return nil
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("daemon alive but not ready (status %q, generation %d)", h.Status, h.ReadyGeneration)
 		}
 		select {
 		case <-ctx.Done():

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -248,6 +249,27 @@ func TestWaitReady(t *testing.T) {
 	}
 	if err := down.WaitReady(context.Background(), 200*time.Millisecond); err == nil {
 		t.Error("unreachable daemon reported ready")
+	}
+}
+
+// TestWaitReadyRequiresReady checks a reachable-but-draining daemon keeps
+// WaitReady waiting: alive is not the same as ready.
+func TestWaitReadyRequiresReady(t *testing.T) {
+	engine := service.NewEngine(1, 0)
+	srv := service.NewServer("127.0.0.1:0", engine)
+	srv.BeginDrain()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.WaitReady(context.Background(), 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("draining daemon reported ready")
+	}
+	if !strings.Contains(err.Error(), "draining") {
+		t.Errorf("error should name the draining status: %v", err)
 	}
 }
 

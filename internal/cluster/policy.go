@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"fpsping/internal/dist"
+)
+
+// Policy names accepted by NewPolicy, the fpsrouter -policy flag and the
+// simulator's comparison report.
+const (
+	PolicyAffinity   = "affinity"
+	PolicyRandom     = "random"
+	PolicyRoundRobin = "roundrobin"
+)
+
+// AllPolicies lists every routing policy in the canonical comparison order.
+var AllPolicies = []string{PolicyAffinity, PolicyRandom, PolicyRoundRobin}
+
+// Policy decides where a keyed request goes. Candidates returns replica
+// indices in preference order: the first is the primary target, the rest the
+// failover sequence a router walks when the primary is unhealthy or over its
+// load bound. Implementations are safe for concurrent use.
+type Policy interface {
+	Name() string
+	Candidates(key string) []int
+}
+
+// NewPolicy builds the named policy over the ring. The seed only matters
+// for PolicyRandom, whose draws it makes reproducible.
+func NewPolicy(name string, ring *Ring, seed uint64) (Policy, error) {
+	switch name {
+	case PolicyAffinity:
+		return &affinityPolicy{ring: ring}, nil
+	case PolicyRandom:
+		return &randomPolicy{r: dist.NewRNG(seed), n: ring.Size()}, nil
+	case PolicyRoundRobin:
+		return &roundRobinPolicy{n: ring.Size()}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (want %s, %s or %s)",
+		name, PolicyAffinity, PolicyRandom, PolicyRoundRobin)
+}
+
+// affinityPolicy is scenario-affinity routing: the ring's owner first, then
+// clockwise successors. Every spelling of the same scenario hashes to the
+// same canonical key, so all its traffic (and its cached computation) lands
+// on one replica.
+type affinityPolicy struct{ ring *Ring }
+
+func (p *affinityPolicy) Name() string { return PolicyAffinity }
+
+func (p *affinityPolicy) Candidates(key string) []int { return p.ring.Owners(key, 0) }
+
+// randomPolicy ignores the key and picks a uniformly random primary (the
+// control arm affinity is measured against): failover order is a random
+// permutation.
+type randomPolicy struct {
+	mu sync.Mutex
+	r  *rand.Rand
+	n  int
+}
+
+func (p *randomPolicy) Name() string { return PolicyRandom }
+
+func (p *randomPolicy) Candidates(string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.r.Perm(p.n)
+}
+
+// roundRobinPolicy cycles primaries in arrival order, key-blind: perfect
+// load spread, zero cache locality.
+type roundRobinPolicy struct {
+	next atomic.Uint64
+	n    int
+}
+
+func (p *roundRobinPolicy) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobinPolicy) Candidates(string) []int {
+	start := int((p.next.Add(1) - 1) % uint64(p.n))
+	out := make([]int, p.n)
+	for i := range out {
+		out[i] = (start + i) % p.n
+	}
+	return out
+}

@@ -1,0 +1,855 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpsping/internal/scenario"
+	"fpsping/internal/service"
+)
+
+// ReplicaHeader names the response header the router adds carrying the
+// replica that answered — the observable trace of every routing decision.
+const ReplicaHeader = "X-Fpsping-Replica"
+
+// maxProxyBody bounds buffered request bodies (the router must buffer to
+// extract the scenario key and to replay the body on failover).
+const maxProxyBody = 4 << 20
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Replicas are the fpspingd base URLs ("http://host:port").
+	Replicas []string
+	// VNodes is the ring's virtual-node count per replica (0 = default).
+	VNodes int
+	// Policy selects the routing policy (empty = PolicyAffinity).
+	Policy string
+	// Seed drives the random policy's draws.
+	Seed uint64
+	// LoadFactor enables the bounded-load variant when > 1: a keyed request
+	// spills past its owner to the next ring candidate while the owner's
+	// in-flight count exceeds ceil(LoadFactor * (total in-flight + 1) /
+	// healthy replicas). 0 disables spilling (pure affinity).
+	LoadFactor float64
+	// HealthInterval is the /healthz polling period (0 = 1s).
+	HealthInterval time.Duration
+	// BreakerFailures opens a replica's circuit after this many consecutive
+	// forwarding failures (0 = 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit rejects a replica before
+	// a probe request may close it again (0 = 5s).
+	BreakerCooldown time.Duration
+	// Timeout bounds one forwarded request (0 = 60s).
+	Timeout time.Duration
+}
+
+// normalize fills defaults in place and validates.
+func (c *RouterConfig) normalize() error {
+	if len(c.Replicas) == 0 {
+		return errors.New("cluster: router needs at least one replica")
+	}
+	for _, r := range c.Replicas {
+		u, err := url.Parse(r)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("cluster: replica %q must be http(s)://host[:port]", r)
+		}
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyAffinity
+	}
+	if c.LoadFactor != 0 && c.LoadFactor <= 1 {
+		return fmt.Errorf("cluster: load factor %g must be > 1 (or 0 to disable)", c.LoadFactor)
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return nil
+}
+
+// breaker is a per-replica circuit breaker: BreakerFailures consecutive
+// forwarding failures open it for BreakerCooldown; the first request after
+// the cooldown is the probe that either closes it or re-opens it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	openUntil time.Time
+}
+
+// Allow reports whether a request may be sent (closed, or open past its
+// cooldown — the half-open probe).
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures < b.threshold || !now.Before(b.openUntil)
+}
+
+// Success closes the circuit.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// Failure records one failure, (re-)arming the cooldown at the threshold.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// State reports "closed", "open" or "half-open" for health reporting.
+func (b *breaker) State(now time.Time) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.failures < b.threshold:
+		return "closed"
+	case now.Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// replicaState is the router's live view of one replica.
+type replicaState struct {
+	name     string
+	alive    atomic.Bool
+	ready    atomic.Bool
+	readyGen atomic.Uint64
+	inflight atomic.Int64
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	lastErr  atomic.Value // string
+	breaker  breaker
+}
+
+// endpointCounters mirror the daemon's per-endpoint request metrics so a
+// load generator pointed at the router measures the cluster exactly like it
+// measures one daemon (same metric names, same hit-ratio arithmetic).
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	hits     atomic.Uint64
+}
+
+// Router is the scenario-affinity reverse proxy: it extracts the canonical
+// scenario key from /v1/rtt, /v1/sweep and /v1/dimension requests, routes by
+// policy over the ring with health-based retry-next-owner failover and
+// per-replica circuit breaking, and splits /v1/rtt:batch by per-item key so
+// intra-batch dedup still lands on the owning replica. Responses are the
+// replicas' own bytes (plus ReplicaHeader), so a cluster answers
+// byte-identically to a single daemon.
+type Router struct {
+	cfg       RouterConfig
+	ring      *Ring
+	policy    Policy
+	hc        *http.Client
+	replicas  []*replicaState
+	endpoints map[string]*endpointCounters
+	rr        atomic.Uint64 // round-robin cursor for key-less forwarding
+
+	started time.Time
+	retries atomic.Uint64
+	spills  atomic.Uint64
+	splits  atomic.Uint64
+	noHome  atomic.Uint64
+}
+
+// NewRouter validates the config and builds the router. Replicas start
+// presumed alive and ready; Start (or CheckReplicas) refines that view.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Replicas, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(cfg.Policy, ring, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		policy: pol,
+		hc: &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		endpoints: make(map[string]*endpointCounters),
+		started:   time.Now(),
+	}
+	for _, name := range cfg.Replicas {
+		st := &replicaState{name: name}
+		st.alive.Store(true)
+		st.ready.Store(true)
+		st.lastErr.Store("")
+		st.breaker.threshold = cfg.BreakerFailures
+		st.breaker.cooldown = cfg.BreakerCooldown
+		rt.replicas = append(rt.replicas, st)
+	}
+	for _, ep := range []string{"/v1/rtt", "/v1/rtt:batch", "/v1/sweep", "/v1/dimension", "/v1/models"} {
+		rt.endpoints[ep] = &endpointCounters{}
+	}
+	return rt, nil
+}
+
+// Ring returns the router's hash ring (read-only).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Start launches the health-polling loop; it stops when ctx is canceled.
+func (rt *Router) Start(ctx context.Context) {
+	go func() {
+		rt.CheckReplicas(ctx)
+		tick := time.NewTicker(rt.cfg.HealthInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				rt.CheckReplicas(ctx)
+			}
+		}
+	}()
+}
+
+// CheckReplicas polls every replica's /healthz once, concurrently, updating
+// alive/ready/generation. A reachable replica reporting ready=false is
+// draining — routed away from, but not a breaker failure; an unreachable
+// one is dead.
+func (rt *Router) CheckReplicas(ctx context.Context) {
+	probeTimeout := rt.cfg.HealthInterval
+	if probeTimeout > 2*time.Second {
+		probeTimeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, st := range rt.replicas {
+		wg.Add(1)
+		go func(st *replicaState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, st.name+"/healthz", nil)
+			if err != nil {
+				st.alive.Store(false)
+				st.lastErr.Store(err.Error())
+				return
+			}
+			resp, err := rt.hc.Do(req)
+			if err != nil {
+				st.alive.Store(false)
+				st.lastErr.Store(err.Error())
+				return
+			}
+			defer resp.Body.Close()
+			var h service.Health
+			data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err == nil {
+				err = json.Unmarshal(data, &h)
+			}
+			if err != nil || resp.StatusCode != http.StatusOK {
+				st.alive.Store(false)
+				st.lastErr.Store(fmt.Sprintf("healthz status %d", resp.StatusCode))
+				return
+			}
+			st.alive.Store(true)
+			st.ready.Store(h.Ready)
+			st.readyGen.Store(h.ReadyGeneration)
+			st.lastErr.Store("")
+		}(st)
+	}
+	wg.Wait()
+}
+
+// Handler returns the router's full route table.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/rtt", func(w http.ResponseWriter, r *http.Request) { rt.handleKeyed(w, r, "/v1/rtt") })
+	mux.HandleFunc("/v1/rtt:batch", rt.handleBatch)
+	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) { rt.handleKeyed(w, r, "/v1/sweep") })
+	mux.HandleFunc("/v1/dimension", func(w http.ResponseWriter, r *http.Request) { rt.handleKeyed(w, r, "/v1/dimension") })
+	mux.HandleFunc("/v1/models", rt.handleModels)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+// apiError mirrors the daemon's uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// readBody slurps a bounded request body ("" for GET), like the daemon's.
+func readBody(r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading body: %w", err)
+	}
+	if len(data) > maxProxyBody {
+		return nil, fmt.Errorf("cluster: body over %d bytes", maxProxyBody)
+	}
+	return data, nil
+}
+
+// routeKey extracts the canonical scenario key from one keyed request, in
+// exactly the forms the daemon accepts (JSON body, envelope body with a
+// "scenario" field, or query parameters). ok=false means the request does
+// not parse as a scenario question — the replica it falls through to will
+// render the authoritative error, so the router never invents its own
+// validation.
+func routeKey(path string, query url.Values, body []byte) (key string, ok bool) {
+	var sc scenario.Scenario
+	var err error
+	switch path {
+	case "/v1/rtt":
+		if len(body) > 0 {
+			sc, err = scenario.FromJSON(body)
+		} else {
+			sc, err = scenario.FromQuery(query)
+		}
+	case "/v1/sweep":
+		if len(body) > 0 {
+			var req service.SweepRequest
+			if err = json.Unmarshal(body, &req); err == nil {
+				if len(req.Scenario) > 0 {
+					sc, err = scenario.FromJSON(req.Scenario)
+				} else {
+					sc = scenario.Default()
+				}
+			}
+		} else {
+			sc, err = scenario.FromQuery(query, "from", "to", "step")
+		}
+	case "/v1/dimension":
+		if len(body) > 0 {
+			var req service.DimensionRequest
+			if err = json.Unmarshal(body, &req); err == nil {
+				if len(req.Scenario) > 0 {
+					sc, err = scenario.FromJSON(req.Scenario)
+				} else {
+					sc = scenario.Default()
+				}
+			}
+		} else {
+			sc, err = scenario.FromQuery(query, "bound", "bound_ms")
+		}
+	default:
+		return "", false
+	}
+	if err != nil {
+		return "", false
+	}
+	return sc.Canonical(), true
+}
+
+// rrOrder returns all replica indices starting from a rotating cursor: the
+// fallback order for requests without a scenario key.
+func (rt *Router) rrOrder() []int {
+	n := len(rt.replicas)
+	start := int(rt.rr.Add(1)-1) % n
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (start + i) % n
+	}
+	return out
+}
+
+// eligible reports whether a replica should receive new traffic: alive,
+// not draining, and its circuit allows a request.
+func (rt *Router) eligible(idx int, now time.Time) bool {
+	st := rt.replicas[idx]
+	return st.alive.Load() && st.ready.Load() && st.breaker.Allow(now)
+}
+
+// loadBound is the bounded-load ceiling on one replica's in-flight count.
+func (rt *Router) loadBound(now time.Time) int64 {
+	if rt.cfg.LoadFactor == 0 {
+		return math.MaxInt64
+	}
+	var total int64
+	healthy := 0
+	for i, st := range rt.replicas {
+		total += st.inflight.Load()
+		if rt.eligible(i, now) {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		healthy = len(rt.replicas)
+	}
+	return int64(math.Ceil(rt.cfg.LoadFactor * float64(total+1) / float64(healthy)))
+}
+
+// order filters candidates to eligible replicas (all of them when none are
+// eligible — a desperate attempt beats an unconditional 502), then applies
+// the bounded-load spill: while the front candidate is over the in-flight
+// ceiling and a cooler candidate exists, rotate it back.
+func (rt *Router) order(candidates []int, now time.Time) []int {
+	chosen := make([]int, 0, len(candidates))
+	for _, idx := range candidates {
+		if rt.eligible(idx, now) {
+			chosen = append(chosen, idx)
+		}
+	}
+	if len(chosen) == 0 {
+		return candidates
+	}
+	if rt.cfg.LoadFactor > 0 && len(chosen) > 1 {
+		bound := rt.loadBound(now)
+		for i, idx := range chosen {
+			if rt.replicas[idx].inflight.Load()+1 <= bound {
+				if i > 0 {
+					rt.spills.Add(uint64(i))
+					chosen = append(chosen[i:i:i], append(chosen[i:], chosen[:i]...)...)
+				}
+				break
+			}
+		}
+	}
+	return chosen
+}
+
+// forwardResult is one replica's answer to a forwarded request.
+type forwardResult struct {
+	status  int
+	header  http.Header
+	body    []byte
+	replica int
+}
+
+// tryOrder forwards the request to the first candidate that answers,
+// walking the failover order on transport errors and gateway-grade (>= 500)
+// statuses. Sub-500 statuses are authoritative daemon answers (400 invalid,
+// 422 unstable) and are returned as-is.
+func (rt *Router) tryOrder(ctx context.Context, candidates []int, method, path, rawQuery string, body []byte) (forwardResult, error) {
+	now := time.Now()
+	order := rt.order(candidates, now)
+	var lastErr error
+	for i, idx := range order {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		st := rt.replicas[idx]
+		res, err := rt.forwardOne(ctx, st, method, path, rawQuery, body)
+		if err == nil && res.status < http.StatusInternalServerError {
+			st.breaker.Success()
+			res.replica = idx
+			return res, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("replica %s answered %d", st.name, res.status)
+		}
+		st.errors.Add(1)
+		st.lastErr.Store(err.Error())
+		st.breaker.Failure(time.Now())
+		lastErr = err
+	}
+	rt.noHome.Add(1)
+	return forwardResult{}, fmt.Errorf("cluster: no replica answered %s: %w", path, lastErr)
+}
+
+// forwardOne sends the buffered request to one replica.
+func (rt *Router) forwardOne(ctx context.Context, st *replicaState, method, path, rawQuery string, body []byte) (forwardResult, error) {
+	target := st.name + path
+	if rawQuery != "" {
+		target += "?" + rawQuery
+	}
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, target, rd)
+	if err != nil {
+		return forwardResult{}, err
+	}
+	req.Header.Set("Accept", "application/json")
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	st.inflight.Add(1)
+	st.requests.Add(1)
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		st.inflight.Add(-1)
+		return forwardResult{}, err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	st.inflight.Add(-1)
+	if err != nil {
+		return forwardResult{}, err
+	}
+	return forwardResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// copyResponse relays a replica's answer, preserving its bytes and cache
+// disposition and stamping which replica answered.
+func (rt *Router) copyResponse(w http.ResponseWriter, res forwardResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if cache := res.header.Get(service.CacheHeader); cache != "" {
+		w.Header().Set(service.CacheHeader, cache)
+	}
+	w.Header().Set(ReplicaHeader, rt.replicas[res.replica].name)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// observe folds one routed request into the router's daemon-compatible
+// per-endpoint counters.
+func (rt *Router) observe(endpoint string, status int, cacheHit bool) {
+	c := rt.endpoints[endpoint]
+	if c == nil {
+		return
+	}
+	c.requests.Add(1)
+	if status >= 400 {
+		c.errors.Add(1)
+	}
+	if cacheHit {
+		c.hits.Add(1)
+	}
+}
+
+// checkMethod mirrors the daemon's method filter so a bad method never
+// consumes a forwarding attempt.
+func checkMethod(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "use GET or POST"})
+		return false
+	}
+	return true
+}
+
+// handleKeyed routes one single-scenario endpoint by canonical key.
+func (rt *Router) handleKeyed(w http.ResponseWriter, r *http.Request, endpoint string) {
+	if !checkMethod(w, r) {
+		return
+	}
+	body, err := readBody(r)
+	if err != nil {
+		rt.observe(endpoint, http.StatusBadRequest, false)
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	var candidates []int
+	if key, ok := routeKey(endpoint, r.URL.Query(), body); ok {
+		candidates = rt.policy.Candidates(key)
+	} else {
+		candidates = rt.rrOrder()
+	}
+	res, err := rt.tryOrder(r.Context(), candidates, r.Method, endpoint, r.URL.RawQuery, body)
+	if err != nil {
+		rt.observe(endpoint, http.StatusBadGateway, false)
+		writeJSON(w, http.StatusBadGateway, apiError{Error: err.Error()})
+		return
+	}
+	rt.observe(endpoint, res.status, res.header.Get(service.CacheHeader) == "hit")
+	rt.copyResponse(w, res)
+}
+
+// handleModels forwards the key-less static endpoint round-robin.
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !checkMethod(w, r) {
+		return
+	}
+	res, err := rt.tryOrder(r.Context(), rt.rrOrder(), r.Method, "/v1/models", r.URL.RawQuery, nil)
+	if err != nil {
+		rt.observe("/v1/models", http.StatusBadGateway, false)
+		writeJSON(w, http.StatusBadGateway, apiError{Error: err.Error()})
+		return
+	}
+	rt.observe("/v1/models", res.status, false)
+	rt.copyResponse(w, res)
+}
+
+// handleBatch splits a batch by per-item canonical key so every item lands
+// on its owning replica (intra-batch duplicates share a key, hence a
+// sub-batch, hence the replica's dedup still collapses them), forwards the
+// sub-batches concurrently, and merges results back into request order.
+// Cached counts add up exactly because duplicates can never straddle
+// sub-batches. A batch that fails to parse is forwarded whole, round-robin,
+// for the replica's authoritative 400.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !checkMethod(w, r) {
+		return
+	}
+	const endpoint = "/v1/rtt:batch"
+	body, err := readBody(r)
+	if err != nil {
+		rt.observe(endpoint, http.StatusBadRequest, false)
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	var req service.BatchRequest
+	keys := []string(nil)
+	if json.Unmarshal(body, &req) == nil && len(req.Scenarios) > 0 {
+		keys = make([]string, len(req.Scenarios))
+		for i, raw := range req.Scenarios {
+			sc, err := scenario.FromJSON(raw)
+			if err != nil {
+				keys = nil // invalid item: let a replica render the exact 400
+				break
+			}
+			keys[i] = sc.Canonical()
+		}
+	}
+	if keys == nil {
+		res, err := rt.tryOrder(r.Context(), rt.rrOrder(), r.Method, endpoint, r.URL.RawQuery, body)
+		if err != nil {
+			rt.observe(endpoint, http.StatusBadGateway, false)
+			writeJSON(w, http.StatusBadGateway, apiError{Error: err.Error()})
+			return
+		}
+		rt.observe(endpoint, res.status, res.header.Get(service.CacheHeader) == "hit")
+		rt.copyResponse(w, res)
+		return
+	}
+
+	// Group item indices by primary owner; each group keeps the candidate
+	// order of its first item for failover.
+	type group struct {
+		order []int
+		items []int
+	}
+	groups := make(map[int]*group)
+	var owners []int
+	for i, key := range keys {
+		cand := rt.policy.Candidates(key)
+		g := groups[cand[0]]
+		if g == nil {
+			g = &group{order: cand}
+			groups[cand[0]] = g
+			owners = append(owners, cand[0])
+		}
+		g.items = append(g.items, i)
+	}
+	sort.Ints(owners)
+	if len(owners) > 1 {
+		rt.splits.Add(1)
+	}
+
+	type subResult struct {
+		res service.BatchResult
+		fwd forwardResult
+		err error
+	}
+	subs := make([]subResult, len(owners))
+	var wg sync.WaitGroup
+	for gi, owner := range owners {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			sub := service.BatchRequest{Scenarios: make([]json.RawMessage, len(g.items))}
+			for j, idx := range g.items {
+				sub.Scenarios[j] = req.Scenarios[idx]
+			}
+			payload, err := json.Marshal(sub)
+			if err != nil {
+				subs[gi].err = err
+				return
+			}
+			fwd, err := rt.tryOrder(r.Context(), g.order, http.MethodPost, endpoint, "", payload)
+			if err != nil {
+				subs[gi].err = err
+				return
+			}
+			subs[gi].fwd = fwd
+			if fwd.status == http.StatusOK {
+				subs[gi].err = json.Unmarshal(fwd.body, &subs[gi].res)
+			}
+		}(gi, groups[owner])
+	}
+	wg.Wait()
+
+	out := service.BatchResult{Results: make([]service.BatchItem, len(keys))}
+	for gi, owner := range owners {
+		sub := subs[gi]
+		if sub.err != nil {
+			rt.observe(endpoint, http.StatusBadGateway, false)
+			writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("cluster: batch shard: %v", sub.err)})
+			return
+		}
+		if sub.fwd.status != http.StatusOK {
+			// An authoritative non-200 from a replica answers the whole batch.
+			rt.observe(endpoint, sub.fwd.status, false)
+			rt.copyResponse(w, sub.fwd)
+			return
+		}
+		g := groups[owner]
+		if len(sub.res.Results) != len(g.items) {
+			rt.observe(endpoint, http.StatusBadGateway, false)
+			writeJSON(w, http.StatusBadGateway, apiError{Error: "cluster: batch shard answered with wrong item count"})
+			return
+		}
+		for j, idx := range g.items {
+			out.Results[idx] = sub.res.Results[j]
+		}
+		out.Cached += sub.res.Cached
+	}
+	hit := out.Cached == len(out.Results)
+	rt.observe(endpoint, http.StatusOK, hit)
+	w.Header().Set(service.CacheHeader, hitOrMiss(hit))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func hitOrMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// ReplicaHealth is one replica's state in the router's /healthz answer.
+type ReplicaHealth struct {
+	Name  string `json:"name"`
+	Alive bool   `json:"alive"`
+	Ready bool   `json:"ready"`
+	// ReadyGeneration echoes the replica's monotonic readiness generation,
+	// distinguishing a drain (alive, not ready, generation bumped) from a
+	// death (not alive).
+	ReadyGeneration uint64 `json:"ready_generation"`
+	Breaker         string `json:"breaker"`
+	Inflight        int64  `json:"inflight"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// RouterHealth answers the router's /healthz.
+type RouterHealth struct {
+	// Status is "ok" while at least one replica is routable, else
+	// "unavailable"; Ready mirrors it so client.WaitReady works against a
+	// router exactly as against a daemon.
+	Status   string          `json:"status"`
+	Ready    bool            `json:"ready"`
+	Policy   string          `json:"policy"`
+	VNodes   int             `json:"vnodes"`
+	Routable int             `json:"routable"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	h := RouterHealth{Policy: rt.cfg.Policy, VNodes: rt.ring.VNodes()}
+	for i, st := range rt.replicas {
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			Name:            st.name,
+			Alive:           st.alive.Load(),
+			Ready:           st.ready.Load(),
+			ReadyGeneration: st.readyGen.Load(),
+			Breaker:         st.breaker.State(now),
+			Inflight:        st.inflight.Load(),
+			LastError:       st.lastErr.Load().(string),
+		})
+		if rt.eligible(i, now) {
+			h.Routable++
+		}
+	}
+	h.Status = "ok"
+	h.Ready = true
+	status := http.StatusOK
+	if h.Routable == 0 {
+		h.Status = "unavailable"
+		h.Ready = false
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE fpsping_uptime_seconds gauge\nfpsping_uptime_seconds %.3f\n", time.Since(rt.started).Seconds())
+	// Daemon-compatible per-endpoint counters: a load generator pointed at
+	// the router computes the cluster's aggregate hit ratio with the same
+	// scrape it uses against one daemon.
+	eps := make([]string, 0, len(rt.endpoints))
+	for ep := range rt.endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	b.WriteString("# TYPE fpsping_requests_total counter\n")
+	for _, ep := range eps {
+		fmt.Fprintf(&b, "fpsping_requests_total{endpoint=%q} %d\n", ep, rt.endpoints[ep].requests.Load())
+	}
+	b.WriteString("# TYPE fpsping_request_errors_total counter\n")
+	for _, ep := range eps {
+		fmt.Fprintf(&b, "fpsping_request_errors_total{endpoint=%q} %d\n", ep, rt.endpoints[ep].errors.Load())
+	}
+	b.WriteString("# TYPE fpsping_cache_hits_total counter\n")
+	for _, ep := range eps {
+		fmt.Fprintf(&b, "fpsping_cache_hits_total{endpoint=%q} %d\n", ep, rt.endpoints[ep].hits.Load())
+	}
+	// Router-native gauges and counters.
+	fmt.Fprintf(&b, "# TYPE fpsrouter_replicas gauge\nfpsrouter_replicas %d\n", len(rt.replicas))
+	fmt.Fprintf(&b, "fpsrouter_retries_total %d\n", rt.retries.Load())
+	fmt.Fprintf(&b, "fpsrouter_spills_total %d\n", rt.spills.Load())
+	fmt.Fprintf(&b, "fpsrouter_batch_splits_total %d\n", rt.splits.Load())
+	fmt.Fprintf(&b, "fpsrouter_no_replica_total %d\n", rt.noHome.Load())
+	for _, st := range rt.replicas {
+		fmt.Fprintf(&b, "fpsrouter_replica_up{replica=%q} %d\n", st.name, boolGauge(st.alive.Load()))
+		fmt.Fprintf(&b, "fpsrouter_replica_ready{replica=%q} %d\n", st.name, boolGauge(st.ready.Load()))
+		fmt.Fprintf(&b, "fpsrouter_replica_requests_total{replica=%q} %d\n", st.name, st.requests.Load())
+		fmt.Fprintf(&b, "fpsrouter_replica_errors_total{replica=%q} %d\n", st.name, st.errors.Load())
+		fmt.Fprintf(&b, "fpsrouter_replica_inflight{replica=%q} %d\n", st.name, st.inflight.Load())
+		fmt.Fprintf(&b, "fpsrouter_breaker_open{replica=%q} %d\n", st.name, boolGauge(st.breaker.State(now) != "closed"))
+	}
+	io.WriteString(w, b.String())
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,187 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"fpsping/internal/client"
+	"fpsping/internal/dist"
+	"fpsping/internal/scenario"
+)
+
+// streamAffinity decorrelates affinity-probe scenarios from the load mixes:
+// a probe key must be fresh (never computed by any earlier phase), so it
+// draws from its own RNG stream.
+const streamAffinity = 0xaff1
+
+// AffinityConfig drives CheckAffinity: a direct measurement that the router
+// in front of ReplicaAddrs pins each scenario key to exactly one replica.
+type AffinityConfig struct {
+	// Router is the client pointed at the fpsrouter base URL.
+	Router *client.Client
+	// ReplicaAddrs are the individual replica base URLs to scrape.
+	ReplicaAddrs []string
+	// Probes is the number of fresh scenario keys to test (default 4).
+	Probes int
+	// Requests is how many identical sequential requests each probe sends
+	// through the router (default 5). Affinity means all of them land on one
+	// replica: that replica computes once and serves Requests-1 cache hits.
+	Requests int
+	// Seed picks the probe scenarios (fresh FixedMs values).
+	Seed uint64
+	// RequestTimeout bounds each probe request and scrape (default
+	// client.DefaultTimeout via client.New).
+	RequestTimeout time.Duration
+}
+
+func (c *AffinityConfig) normalize() error {
+	if c.Router == nil {
+		return fmt.Errorf("load: affinity check needs a router client")
+	}
+	if len(c.ReplicaAddrs) < 2 {
+		return fmt.Errorf("load: affinity check needs at least 2 replica addresses, got %d", len(c.ReplicaAddrs))
+	}
+	if c.Probes <= 0 {
+		c.Probes = 4
+	}
+	if c.Requests < 2 {
+		c.Requests = 5
+	}
+	return nil
+}
+
+// AffinityProbe is one fresh key's outcome: which replica owned it and what
+// the per-replica request deltas looked like.
+type AffinityProbe struct {
+	// FixedMs identifies the probe scenario (all other fields are defaults).
+	FixedMs float64 `json:"fixed_ms"`
+	// Owner is the replica address that served the probe's requests, or ""
+	// when the probe failed.
+	Owner string `json:"owner,omitempty"`
+	// Requests/Hits/Computations are the owning replica's /v1/rtt deltas.
+	Requests     uint64 `json:"requests"`
+	Hits         uint64 `json:"hits"`
+	Computations uint64 `json:"computations"`
+	// OK reports whether exactly one replica saw all the traffic and computed
+	// the key exactly once.
+	OK bool `json:"ok"`
+	// Detail explains a failed probe.
+	Detail string `json:"detail,omitempty"`
+}
+
+// AffinityReport is the outcome of CheckAffinity.
+type AffinityReport struct {
+	Replicas []string        `json:"replicas"`
+	Probes   []AffinityProbe `json:"probes"`
+	Passed   int             `json:"passed"`
+	OK       bool            `json:"ok"`
+}
+
+// Text renders the human-readable affinity report.
+func (r *AffinityReport) Text() string {
+	var b strings.Builder
+	verdict := "FAIL"
+	if r.OK {
+		verdict = "ok"
+	}
+	fmt.Fprintf(&b, "affinity     %d/%d probes pinned to a single replica  [%s]\n",
+		r.Passed, len(r.Probes), verdict)
+	for _, p := range r.Probes {
+		if p.OK {
+			fmt.Fprintf(&b, "  fixed=%.6gms -> %s  (%d requests, %d hits, %d compute)\n",
+				p.FixedMs, p.Owner, p.Requests, p.Hits, p.Computations)
+		} else {
+			fmt.Fprintf(&b, "  fixed=%.6gms -> FAIL: %s\n", p.FixedMs, p.Detail)
+		}
+	}
+	return b.String()
+}
+
+// CheckAffinity proves scenario affinity end to end against a live cluster:
+// for each of cfg.Probes fresh scenario keys it sends cfg.Requests identical
+// /v1/rtt requests through the router and then asserts, from the replicas'
+// own /metrics and /healthz counters, that exactly one replica received all
+// of them and computed the key exactly once (the rest were cache hits).
+//
+// The check assumes it is the only traffic touching the replicas while it
+// runs — run it after, not during, a load phase.
+func CheckAffinity(ctx context.Context, cfg AffinityConfig) (*AffinityReport, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	probes, err := newReplicaProbes(cfg.ReplicaAddrs, Config{RequestTimeout: cfg.RequestTimeout})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fresh keys: vary FixedMs by seeded draw. FixedMs shifts the curve
+	// without touching queueing stability, so any positive value is a valid
+	// scenario — unlike Gamers or Load, which can push the model unstable.
+	rng := dist.NewRNG(cfg.Seed, streamAffinity)
+	rep := &AffinityReport{Replicas: append([]string(nil), cfg.ReplicaAddrs...), OK: true}
+	for i := 0; i < cfg.Probes; i++ {
+		sc := scenario.Default()
+		// 3 decimal digits in [10, 110): distinct keys across probes, stable
+		// canonical spelling.
+		sc.FixedMs = 10 + float64(rng.IntN(100_000))/1000
+		p := AffinityProbe{FixedMs: sc.FixedMs}
+
+		if err := probe(ctx, cfg, probes, sc, &p); err != nil {
+			return nil, err
+		}
+		if p.OK {
+			rep.Passed++
+		} else {
+			rep.OK = false
+		}
+		rep.Probes = append(rep.Probes, p)
+	}
+	return rep, nil
+}
+
+// probe runs one fresh key through the router and fills in the outcome.
+func probe(ctx context.Context, cfg AffinityConfig, probes []*replicaProbe, sc scenario.Scenario, out *AffinityProbe) error {
+	for _, pr := range probes {
+		if err := pr.scrape(ctx); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < cfg.Requests; j++ {
+		if _, _, err := cfg.Router.RTT(ctx, sc); err != nil {
+			out.Detail = fmt.Sprintf("request %d/%d: %v", j+1, cfg.Requests, err)
+			return nil
+		}
+	}
+	var owners []string
+	for _, pr := range probes {
+		d, err := pr.delta(ctx)
+		if err != nil {
+			return err
+		}
+		if d.Requests == 0 {
+			continue
+		}
+		owners = append(owners, pr.addr)
+		out.Owner = pr.addr
+		out.Requests = d.Requests
+		out.Hits = d.Hits
+		out.Computations = d.Computations
+	}
+	want := uint64(cfg.Requests)
+	switch {
+	case len(owners) != 1:
+		out.Owner = ""
+		out.Detail = fmt.Sprintf("key served by %d replicas %v, want exactly 1", len(owners), owners)
+	case out.Requests != want:
+		out.Detail = fmt.Sprintf("owner %s saw %d requests, want %d", out.Owner, out.Requests, want)
+	case out.Computations != 1:
+		out.Detail = fmt.Sprintf("owner %s ran %d computations for one fresh key, want 1", out.Owner, out.Computations)
+	case out.Hits != want-1:
+		out.Detail = fmt.Sprintf("owner %s served %d cache hits, want %d", out.Owner, out.Hits, want-1)
+	default:
+		out.OK = true
+	}
+	return nil
+}

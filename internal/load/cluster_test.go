@@ -1,0 +1,157 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fpsping/internal/client"
+	"fpsping/internal/cluster"
+	"fpsping/internal/service"
+)
+
+// bootCluster serves n real engines behind httptest plus an fpsrouter in
+// front, returning a client for the router and the replica base URLs.
+func bootCluster(t *testing.T, n int, policy string) (*client.Client, []string) {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		engine := service.NewEngine(2, 256)
+		ts := httptest.NewServer(service.NewServer("127.0.0.1:0", engine).Handler())
+		t.Cleanup(ts.Close)
+		addrs[i] = ts.URL
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas: addrs, Policy: policy, Seed: 7, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	cli, err := client.New(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli, addrs
+}
+
+// TestRunClusterReplicaReport drives a load run through a real router and
+// checks the per-replica section: every replica is scraped, the replica
+// request deltas cover the model-endpoint traffic, and all report ready.
+func TestRunClusterReplicaReport(t *testing.T) {
+	cli, addrs := bootCluster(t, 3, cluster.PolicyAffinity)
+	rep, err := Run(context.Background(), Config{
+		Client:         cli,
+		Jobs:           2,
+		Seed:           11,
+		Mix:            MixHot,
+		PoolSize:       12,
+		BatchSize:      4,
+		WarmupPasses:   1,
+		Count:          120,
+		RequestTimeout: 30 * time.Second,
+		ReplicaAddrs:   addrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors() != 0 {
+		t.Fatalf("cluster run had %d errors", rep.TotalErrors())
+	}
+	if len(rep.Replicas) != 3 {
+		t.Fatalf("got %d replica reports, want 3", len(rep.Replicas))
+	}
+	var reqSum, hitSum uint64
+	for i, rr := range rep.Replicas {
+		if rr.Addr != addrs[i] {
+			t.Errorf("replica %d addr %q, want %q (order must match ReplicaAddrs)", i, rr.Addr, addrs[i])
+		}
+		if !rr.Ready || rr.ReadyGeneration != 1 {
+			t.Errorf("replica %d: ready=%v generation=%d, want ready at generation 1", i, rr.Ready, rr.ReadyGeneration)
+		}
+		reqSum += rr.Requests
+		hitSum += rr.Hits
+	}
+	if reqSum == 0 || hitSum == 0 {
+		t.Errorf("replica deltas empty: %d requests, %d hits", reqSum, hitSum)
+	}
+	// Replica counters should account for at least the measured model-endpoint
+	// traffic the aggregate snapshot saw (warmup is included in the replica
+	// deltas, so >=).
+	if aggregate := rep.Cache.RequestsAfter - rep.Cache.RequestsBefore; reqSum < aggregate {
+		t.Errorf("replica request deltas %d < aggregate measured %d", reqSum, aggregate)
+	}
+	if !strings.Contains(rep.Text(), "replica      "+addrs[0]) {
+		t.Error("text report missing per-replica lines")
+	}
+}
+
+// TestCheckAffinityPinsFreshKeys is the end-to-end affinity proof in
+// miniature: fresh keys through an affinity router must land every request
+// — and exactly one compute — on a single replica.
+func TestCheckAffinityPinsFreshKeys(t *testing.T) {
+	cli, addrs := bootCluster(t, 3, cluster.PolicyAffinity)
+	rep, err := CheckAffinity(context.Background(), AffinityConfig{
+		Router:       cli,
+		ReplicaAddrs: addrs,
+		Probes:       3,
+		Requests:     4,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.Passed != 3 {
+		t.Fatalf("affinity check failed: %+v\n%s", rep, rep.Text())
+	}
+	for _, p := range rep.Probes {
+		if p.Owner == "" {
+			t.Errorf("probe fixed=%g has no owner", p.FixedMs)
+		}
+		if p.Requests != 4 || p.Hits != 3 || p.Computations != 1 {
+			t.Errorf("probe fixed=%g: %d requests, %d hits, %d computes; want 4/3/1",
+				p.FixedMs, p.Requests, p.Hits, p.Computations)
+		}
+	}
+	if !strings.Contains(rep.Text(), "[ok]") {
+		t.Errorf("text report:\n%s", rep.Text())
+	}
+}
+
+// TestCheckAffinityDetectsScatter points the same check at a round-robin
+// router: traffic for one key spreads across replicas, and the check must
+// say so rather than pass vacuously.
+func TestCheckAffinityDetectsScatter(t *testing.T) {
+	cli, addrs := bootCluster(t, 3, cluster.PolicyRoundRobin)
+	rep, err := CheckAffinity(context.Background(), AffinityConfig{
+		Router:       cli,
+		ReplicaAddrs: addrs,
+		Probes:       2,
+		Requests:     6,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Passed != 0 {
+		t.Fatalf("round-robin cluster passed the affinity check: %+v", rep)
+	}
+	for _, p := range rep.Probes {
+		if p.OK || p.Detail == "" {
+			t.Errorf("scattered probe not explained: %+v", p)
+		}
+	}
+}
+
+func TestCheckAffinityRejectsBadConfig(t *testing.T) {
+	cli, addrs := bootCluster(t, 2, cluster.PolicyAffinity)
+	if _, err := CheckAffinity(context.Background(), AffinityConfig{ReplicaAddrs: addrs}); err == nil {
+		t.Error("missing router accepted")
+	}
+	if _, err := CheckAffinity(context.Background(), AffinityConfig{Router: cli, ReplicaAddrs: addrs[:1]}); err == nil {
+		t.Error("single replica accepted")
+	}
+}

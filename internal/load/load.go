@@ -16,10 +16,15 @@ import (
 // so Config{Addr: ..., Mix: MixHot, Count: 1000} is a complete run.
 type Config struct {
 	// Addr is the daemon base URL ("http://127.0.0.1:7900"). Ignored when
-	// Client is set.
+	// Client is set. Against a cluster, point Addr at the fpsrouter — its
+	// /metrics speak the same dialect, so every gate works unchanged.
 	Addr string
 	// Client overrides the client (tests point it at an httptest server).
 	Client *client.Client
+	// ReplicaAddrs, when set, are the individual fpspingd replicas behind a
+	// routed target: each is scraped before and after the measured phase and
+	// reported per replica, showing where the cluster's work landed.
+	ReplicaAddrs []string
 	// Jobs is the number of concurrent closed-loop workers (<= 0 means 4).
 	Jobs int
 	// Seed drives every scenario draw; same seed, same request multiset.
@@ -269,6 +274,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load: pre-run metrics scrape: %w", err)
 	}
+	replicas, err := newReplicaProbes(cfg.ReplicaAddrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range replicas {
+		if err := p.scrape(ctx); err != nil {
+			return nil, err
+		}
+	}
 
 	rec := newRecorder()
 	count := cfg.Count
@@ -305,6 +319,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	after, err := cli.Metrics(scrapeCtx)
 	if err != nil {
 		return nil, fmt.Errorf("load: post-run metrics scrape: %w", err)
+	}
+	for _, p := range replicas {
+		rr, err := p.delta(scrapeCtx)
+		if err != nil {
+			return nil, err
+		}
+		rep.Replicas = append(rep.Replicas, rr)
 	}
 
 	rec.mu.Lock()

@@ -70,6 +70,9 @@ type Report struct {
 	Endpoints    map[string]EndpointReport `json:"endpoints"`
 	StatusCounts map[string]int            `json:"status_counts"`
 	Cache        CacheReport               `json:"cache"`
+	// Replicas is the per-replica breakdown of a cluster run (one entry per
+	// Config.ReplicaAddrs, in order); empty for single-daemon runs.
+	Replicas []ReplicaReport `json:"replicas,omitempty"`
 
 	// Fingerprint is the order-independent hash of the executed operations:
 	// equal fingerprints mean equal request multisets, whatever the worker
@@ -101,6 +104,14 @@ func (r *Report) Text() string {
 	if r.Cache.Shards > 0 {
 		fmt.Fprintf(&b, "cache        %d shards, %d entries, %d evictions\n",
 			r.Cache.Shards, r.Cache.EntriesAfter, r.Cache.EvictionsAfter)
+	}
+	for _, rep := range r.Replicas {
+		state := "ready"
+		if !rep.Ready {
+			state = "not-ready"
+		}
+		fmt.Fprintf(&b, "replica      %s  %d requests  %d hits  %d computes  %d entries  %s gen %d\n",
+			rep.Addr, rep.Requests, rep.Hits, rep.Computations, rep.CacheEntries, state, rep.ReadyGeneration)
 	}
 	names := make([]string, 0, len(r.Endpoints))
 	for name := range r.Endpoints {

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestHealthzReadiness checks the readiness contract the cluster router
+// keys failover on: a fresh server is ready at generation 1; BeginDrain
+// flips it to draining (still answering 200 — alive, not dead) and bumps
+// the generation exactly once, idempotently.
+func TestHealthzReadiness(t *testing.T) {
+	srv, ts := newTestServer(t, 1)
+
+	resp, data := do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Ready || h.ReadyGeneration != 1 {
+		t.Errorf("fresh server health = %+v, want ok/ready/generation 1", h)
+	}
+
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent: one transition, one generation bump
+	resp, data = do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz status %d, want 200 (draining is alive)", resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || h.Ready || h.ReadyGeneration != 2 {
+		t.Errorf("draining health = %+v, want draining/not-ready/generation 2", h)
+	}
+
+	// Model endpoints keep answering during the drain: in-flight and
+	// straggler requests finish normally; only new routing moves away.
+	resp, body := do(t, http.MethodGet, ts.URL+"/v1/rtt?load=0.5", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("draining /v1/rtt status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"fpsping/internal/core"
@@ -33,18 +34,35 @@ type Server struct {
 	engine *Engine
 	http   *http.Server
 	ln     net.Listener
+
+	// draining flips on BeginDrain; readyGen increments on every readiness
+	// transition so a poller (the cluster router) can tell a restart from a
+	// long-lived process and a drain from a death: a draining daemon still
+	// answers /healthz (alive, ready=false), a dead one answers nothing.
+	draining atomic.Bool
+	readyGen atomic.Uint64
 }
 
 // NewServer wraps the engine in an HTTP server bound to addr (host:port;
 // port 0 picks a free port, see Addr).
 func NewServer(addr string, e *Engine) *Server {
 	s := &Server{engine: e}
+	s.readyGen.Store(1) // generation 1 = first ready period of this process
 	s.http = &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s
+}
+
+// BeginDrain marks the server not-ready ahead of Shutdown: /healthz keeps
+// answering 200 with status "draining" and ready=false, so a router routes
+// new traffic away while in-flight requests finish. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.readyGen.Add(1)
+	}
 }
 
 // Handler returns the daemon's full route table. It is exported so tests
@@ -422,12 +440,20 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) (bool, err
 // Health answers /healthz: liveness plus the cache and compute counters
 // that tell an operator (or load generator) how hard the engine is working.
 type Health struct {
-	Status       string `json:"status"`
-	Jobs         int    `json:"jobs"`
-	CacheShards  int    `json:"cache_shards"`
-	CacheEntries int    `json:"cache_entries"`
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
+	Status string `json:"status"`
+	// Ready is true while the server accepts new work; false once BeginDrain
+	// has been called. A draining server still answers 200 so pollers can
+	// tell it apart from a dead one.
+	Ready bool `json:"ready"`
+	// ReadyGeneration increments on every readiness transition and starts at
+	// 1, so it is monotonic within a process lifetime: a poller that sees the
+	// generation move knows the flip is fresh, not a stale cached answer.
+	ReadyGeneration uint64 `json:"ready_generation"`
+	Jobs            int    `json:"jobs"`
+	CacheShards     int    `json:"cache_shards"`
+	CacheEntries    int    `json:"cache_entries"`
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
 	// CacheEvictions counts entries dropped to capacity pressure, summed
 	// over shards.
 	CacheEvictions uint64 `json:"cache_evictions"`
@@ -440,15 +466,21 @@ type Health struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.CacheDetail()
+	status, ready := "ok", true
+	if s.draining.Load() {
+		status, ready = "draining", false
+	}
 	writeJSON(w, http.StatusOK, Health{
-		Status:         "ok",
-		Jobs:           s.engine.Jobs(),
-		CacheShards:    len(st.Shards),
-		CacheEntries:   st.Entries,
-		CacheHits:      st.Hits,
-		CacheMisses:    st.Misses,
-		CacheEvictions: st.Evictions,
-		Computations:   s.engine.Computes(),
+		Status:          status,
+		Ready:           ready,
+		ReadyGeneration: s.readyGen.Load(),
+		Jobs:            s.engine.Jobs(),
+		CacheShards:     len(st.Shards),
+		CacheEntries:    st.Entries,
+		CacheHits:       st.Hits,
+		CacheMisses:     st.Misses,
+		CacheEvictions:  st.Evictions,
+		Computations:    s.engine.Computes(),
 	})
 }
 
