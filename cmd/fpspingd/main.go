@@ -33,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -48,6 +49,7 @@ type config struct {
 	shards    int
 	drain     time.Duration
 	pprofAddr string
+	snapshot  string
 }
 
 // parseFlags parses and validates the command line. Nonsensical values are a
@@ -67,6 +69,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
 	fs.StringVar(&cfg.pprofAddr, "pprof", "",
 		"serve net/http/pprof on this address (host:port; empty = disabled). Keep it loopback-only: the profiler is unauthenticated.")
+	fs.StringVar(&cfg.snapshot, "snapshot", "",
+		"cache snapshot path: loaded at boot if present (a stale or corrupt file boots cold, never fails), rewritten on graceful shutdown after the drain")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -102,6 +106,9 @@ func run(cfg config) error {
 	// -jobs instead of multiplying it.
 	runner.SetMaxParallel(cfg.jobs)
 	engine := service.NewEngine(cfg.jobs, cfg.cacheSize, service.WithShards(cfg.shards))
+	if cfg.snapshot != "" {
+		loadSnapshot(engine, cfg.snapshot)
+	}
 	srv := service.NewServer(cfg.addr, engine)
 	if err := srv.Listen(); err != nil {
 		return err
@@ -148,5 +155,60 @@ func run(cfg config) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	if cfg.snapshot != "" {
+		// After the drain: no in-flight requests are mutating the cache, so
+		// the snapshot is a consistent view of everything this run computed.
+		if err := writeSnapshot(engine, cfg.snapshot); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+	}
 	return <-errc
+}
+
+// loadSnapshot warms the engine from a snapshot file. Any failure — no
+// file yet, a schema stamp from another build, corruption — boots the
+// daemon cold, logged but never fatal: a bad snapshot must not keep a
+// deployment down.
+func loadSnapshot(engine *service.Engine, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("fpspingd: snapshot %s unreadable, booting cold: %v", path, err)
+		}
+		return
+	}
+	defer f.Close()
+	st, err := engine.WarmCache(f)
+	if err != nil {
+		log.Printf("fpspingd: snapshot %s rejected, booting cold: %v", path, err)
+		return
+	}
+	log.Printf("fpspingd: warmed %d cache entries from %s", st.Restored, path)
+}
+
+// writeSnapshot dumps the engine cache to path atomically: written to a
+// temp file in the same directory, fsynced, then renamed over path — a
+// crash mid-write leaves the previous snapshot intact.
+func writeSnapshot(engine *service.Engine, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	st, err := engine.DumpCache(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	log.Printf("fpspingd: wrote snapshot %s (%d entries, %d skipped, %d bytes)",
+		path, st.Entries, st.Skipped, st.Bytes)
+	return nil
 }

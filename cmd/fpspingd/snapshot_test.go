@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpsping/internal/scenario"
+	"fpsping/internal/service"
+)
+
+func TestParseFlagsSnapshot(t *testing.T) {
+	cfg, err := parseFlags([]string{"-snapshot", "/tmp/cache.snap"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.snapshot != "/tmp/cache.snap" {
+		t.Errorf("snapshot path %q", cfg.snapshot)
+	}
+}
+
+// TestSnapshotLifecycle drives the daemon's drain-and-reboot persistence
+// path in process: write the snapshot the way shutdown does, load it the
+// way boot does, and check the warmed engine answers from cache with zero
+// computations.
+func TestSnapshotLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	donor := service.NewEngine(1, 0)
+	sc := scenario.Default()
+	want, _, err := donor.RTT(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(donor, path); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+
+	warmed := service.NewEngine(1, 0)
+	loadSnapshot(warmed, path)
+	got, cached, err := warmed.RTT(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("warmed engine answered cold")
+	}
+	if got != want {
+		t.Errorf("warmed answer differs: %+v vs %+v", got, want)
+	}
+	if n := warmed.Computes(); n != 0 {
+		t.Errorf("warmed engine ran %d computations, want 0", n)
+	}
+}
+
+// TestLoadSnapshotToleratesBadFiles: a missing, unreadable or corrupt
+// snapshot boots cold — logged, never fatal, never a partial cache.
+func TestLoadSnapshotToleratesBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	eng := service.NewEngine(1, 0)
+	loadSnapshot(eng, filepath.Join(dir, "absent.snap"))
+
+	garbage := filepath.Join(dir, "garbage.snap")
+	if err := os.WriteFile(garbage, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loadSnapshot(eng, garbage)
+	if entries, _, _ := eng.CacheStats(); entries != 0 {
+		t.Errorf("bad snapshot left %d entries", entries)
+	}
+	// The engine still works after both failures.
+	if _, _, err := eng.RTT(scenario.Default()); err != nil {
+		t.Errorf("engine broken after rejected snapshots: %v", err)
+	}
+}
+
+// TestWriteSnapshotAtomic: the write goes through a temp file and rename,
+// so a prior snapshot survives and no temp litter is left behind.
+func TestWriteSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	eng := service.NewEngine(1, 0)
+	if _, _, err := eng.RTT(scenario.Default()); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(eng, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(eng, path); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cache.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("snapshot dir not clean: %v", names)
+	}
+}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +47,9 @@ type config struct {
 	breakerCooldown time.Duration
 	timeout         time.Duration
 	drain           time.Duration
+
+	bootstrap     string
+	bootstrapJSON bool
 
 	sim         bool
 	simJSON     bool
@@ -77,6 +81,10 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "per-forwarded-request timeout")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain timeout")
 
+	fs.StringVar(&cfg.bootstrap, "bootstrap", "",
+		"one-shot replica bootstrap instead of serving: pre-seed this fpspingd base URL with the cache entries it will own on the -replicas ring (which must include it), from the other replicas as donors, then exit")
+	fs.BoolVar(&cfg.bootstrapJSON, "bootstrap-json", false, "emit the bootstrap report as JSON")
+
 	fs.BoolVar(&cfg.sim, "sim", false, "run the deterministic cluster simulator instead of serving")
 	fs.BoolVar(&cfg.simJSON, "sim-json", false, "emit the simulator comparison as JSON instead of text")
 	fs.IntVar(&cfg.simJobs, "sim-jobs", 1, "simulator worker count (the report is byte-identical at any value)")
@@ -101,6 +109,18 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if !cfg.sim && len(cfg.replicas) == 0 {
 		return fail(errors.New("fpsrouter: -replicas is required (or -sim)"))
+	}
+	if cfg.bootstrap != "" {
+		found := false
+		for _, r := range cfg.replicas {
+			found = found || r == cfg.bootstrap
+		}
+		if !found {
+			return fail(fmt.Errorf("fpsrouter: -bootstrap %s must be listed in -replicas (ownership is computed over the post-join ring)", cfg.bootstrap))
+		}
+		if len(cfg.replicas) < 2 {
+			return fail(errors.New("fpsrouter: -bootstrap needs at least one donor besides the target in -replicas"))
+		}
 	}
 	if cfg.vnodes <= 0 || cfg.vnodes > cluster.MaxVNodes {
 		return fail(fmt.Errorf("fpsrouter: -vnodes %d outside 1..%d", cfg.vnodes, cluster.MaxVNodes))
@@ -128,9 +148,51 @@ func main() {
 		}
 		return
 	}
+	if cfg.bootstrap != "" {
+		if err := runBootstrap(cfg, os.Stdout); err != nil {
+			log.Fatal("fpsrouter: ", err)
+		}
+		return
+	}
 	if err := run(cfg); err != nil {
 		log.Fatal("fpsrouter: ", err)
 	}
+}
+
+// runBootstrap pre-seeds one joining replica from its future peers and
+// exits: the operational step between booting a fresh fpspingd and
+// restarting the router with it in -replicas.
+func runBootstrap(cfg config, stdout io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := cluster.Bootstrap(ctx, cluster.BootstrapConfig{
+		Replicas: cfg.replicas,
+		Target:   cfg.bootstrap,
+		VNodes:   cfg.vnodes,
+		Timeout:  cfg.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.bootstrapJSON {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(append(data, '\n'))
+		return err
+	}
+	fmt.Fprintf(stdout, "bootstrap %s: restored %d entries (cache now %d)\n",
+		report.Target, report.Restored, report.CacheEntries)
+	for _, d := range report.Donors {
+		if d.Err != "" {
+			fmt.Fprintf(stdout, "  donor %s: FAILED: %s\n", d.Donor, d.Err)
+			continue
+		}
+		fmt.Fprintf(stdout, "  donor %s: kept %d/%d owned records, restored %d (skipped %d existing, %d full)\n",
+			d.Donor, d.Kept, d.Kept+d.Dropped, d.Restored, d.SkippedExisting, d.SkippedFull)
+	}
+	return nil
 }
 
 // runSim answers the capacity-planning question offline: the policy

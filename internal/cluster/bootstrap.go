@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"fpsping/internal/client"
+	"fpsping/internal/memo"
+	"fpsping/internal/service"
+)
+
+// BootstrapConfig parameterizes one replica bootstrap: warming a fresh
+// replica with exactly the cache entries it will own once it joins the ring.
+type BootstrapConfig struct {
+	// Replicas is the post-join replica set — the fpspingd base URLs the
+	// router will be (re)configured with, including Target. Ownership is
+	// computed over this ring, so it must match the router's replica list
+	// and vnode count exactly.
+	Replicas []string
+	// Target is the fresh replica to warm; must be one of Replicas.
+	Target string
+	// VNodes is the ring's virtual-node count per replica (0 = default),
+	// matching the router's.
+	VNodes int
+	// Timeout bounds each donor dump and the target warm (0 = 120s; dumps
+	// of well-filled caches are bulky).
+	Timeout time.Duration
+}
+
+// DonorReport is one donor's contribution to a bootstrap.
+type DonorReport struct {
+	Donor string `json:"donor"`
+	// Kept/Dropped count the donor's snapshot records against the post-join
+	// ring: kept records are owned by the target, dropped ones stay home.
+	Kept    int `json:"kept"`
+	Dropped int `json:"dropped"`
+	// Restored/SkippedExisting/SkippedFull echo the target's warm answer
+	// for this donor's filtered snapshot.
+	Restored        int `json:"restored"`
+	SkippedExisting int `json:"skipped_existing"`
+	SkippedFull     int `json:"skipped_full"`
+	// Err records a donor-level failure. Bootstrap is best-effort per
+	// donor: a dead donor costs warmth, not the join.
+	Err string `json:"error,omitempty"`
+}
+
+// BootstrapReport sums a bootstrap run.
+type BootstrapReport struct {
+	Target string        `json:"target"`
+	Donors []DonorReport `json:"donors"`
+	// Restored is the total entry count the target accepted.
+	Restored int `json:"restored"`
+	// CacheEntries is the target's cache occupancy after the last warm.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Bootstrap pre-seeds a fresh replica from its future peers: it builds the
+// post-join ring, asks every donor for a cache dump, carves out of each
+// snapshot exactly the records whose canonical scenario key the ring
+// assigns to the target (memo.FilterSnapshot — the carving is byte-level,
+// so the donor's schema stamp and checksum discipline survive intact), and
+// uploads the carved snapshots to the target's /v1/cache:warm. The target
+// must run the same build as the donors, or its schema check will (rightly)
+// reject the snapshots.
+//
+// Donor failures are reported, not fatal: a replica that cannot donate
+// costs cache warmth, never the join itself. An error is returned only
+// when the configuration is unusable or the target refuses every warm.
+//
+// One approximation is inherent: a sweep's interior grid points ("pt|"
+// entries) are keyed by per-point scenarios whose owners may differ from
+// the base sweep's, so a freshly bootstrapped replica can still miss on a
+// handful of interior points and re-derive them — correctness is
+// unaffected.
+func Bootstrap(ctx context.Context, cfg BootstrapConfig) (BootstrapReport, error) {
+	rep := BootstrapReport{Target: cfg.Target}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	ring, err := NewRing(cfg.Replicas, cfg.VNodes)
+	if err != nil {
+		return rep, err
+	}
+	targetIdx := -1
+	for i, r := range cfg.Replicas {
+		if r == cfg.Target {
+			targetIdx = i
+			break
+		}
+	}
+	if targetIdx < 0 {
+		return rep, fmt.Errorf("cluster: bootstrap target %q not in replica set", cfg.Target)
+	}
+	if len(cfg.Replicas) < 2 {
+		return rep, fmt.Errorf("cluster: bootstrap needs at least one donor besides the target")
+	}
+
+	tc, err := client.New(cfg.Target, client.WithTimeout(cfg.Timeout))
+	if err != nil {
+		return rep, err
+	}
+	owned := func(memoKey string) bool {
+		key, ok := service.ScenarioKeyOf(memoKey)
+		if !ok {
+			return false
+		}
+		return ring.Owner(key) == targetIdx
+	}
+
+	warmed := false
+	var lastErr error
+	for i, donor := range cfg.Replicas {
+		if i == targetIdx {
+			continue
+		}
+		dr := DonorReport{Donor: donor}
+		rep.Donors = append(rep.Donors, dr)
+		out := &rep.Donors[len(rep.Donors)-1]
+
+		dc, err := client.New(donor, client.WithTimeout(cfg.Timeout))
+		if err != nil {
+			out.Err, lastErr = err.Error(), err
+			continue
+		}
+		snap, err := dc.CacheDump(ctx)
+		if err != nil {
+			out.Err, lastErr = err.Error(), err
+			continue
+		}
+		var carved bytes.Buffer
+		fst, err := memo.FilterSnapshot(bytes.NewReader(snap), &carved, owned)
+		if err != nil {
+			out.Err, lastErr = err.Error(), err
+			continue
+		}
+		out.Kept, out.Dropped = fst.Kept, fst.Dropped
+		if fst.Kept == 0 {
+			warmed = true // nothing owed by this donor is still a successful donation
+			continue
+		}
+		wr, err := tc.CacheWarm(ctx, carved.Bytes())
+		if err != nil {
+			out.Err, lastErr = err.Error(), err
+			continue
+		}
+		out.Restored, out.SkippedExisting, out.SkippedFull = wr.Restored, wr.SkippedExisting, wr.SkippedFull
+		rep.Restored += wr.Restored
+		rep.CacheEntries = wr.CacheEntries
+		warmed = true
+	}
+	if !warmed {
+		return rep, fmt.Errorf("cluster: bootstrap of %s failed against every donor: %w", cfg.Target, lastErr)
+	}
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fpsping/internal/service"
+)
+
+// bootReplica boots one genuine fpspingd engine behind httptest.
+func bootReplica(t *testing.T) (*service.Engine, string) {
+	t.Helper()
+	eng := service.NewEngine(2, 256)
+	srv := httptest.NewServer(service.NewServer("127.0.0.1:0", eng).Handler())
+	t.Cleanup(srv.Close)
+	return eng, srv.URL
+}
+
+// TestBootstrapWarmJoinBeatsColdJoin is the in-process version of the CI
+// bootstrap gate: a fourth replica joins a filled three-replica cluster,
+// pre-seeded via Bootstrap with exactly the keys the post-join ring hands
+// it. Its first pass over the working set must be all hits with zero
+// computations, while an identical cold-joining control replica computes.
+func TestBootstrapWarmJoinBeatsColdJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine end-to-end test")
+	}
+	ctx := context.Background()
+
+	// Three donors behind a router, filled with a working set chosen so the
+	// future fourth replica will own at least a few of its keys.
+	donorEngines := make([]*service.Engine, 3)
+	donors := make([]string, 3)
+	for i := range donors {
+		donorEngines[i], donors[i] = bootReplica(t)
+	}
+	warmEng, warmURL := bootReplica(t)
+	joined := append(append([]string(nil), donors...), warmURL)
+	joinedRing, err := NewRing(joined, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gamers []int
+	ownedByTarget := 0
+	for g := 60; len(gamers) < 16 && g < 2000; g++ {
+		if joinedRing.Owner(keyFor(t, g)) == 3 {
+			ownedByTarget++
+		} else if len(gamers)-ownedByTarget >= 12 {
+			continue // enough donor-owned keys; keep hunting target-owned ones
+		}
+		gamers = append(gamers, g)
+	}
+	if ownedByTarget == 0 {
+		t.Fatal("working set has no keys the fourth replica will own")
+	}
+	t.Logf("working set: %d keys, %d owned by the joining replica", len(gamers), ownedByTarget)
+
+	preRouter, err := NewRouter(RouterConfig{Replicas: donors, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preFront := httptest.NewServer(preRouter.Handler())
+	defer preFront.Close()
+	bodies := make(map[int]string)
+	for _, g := range gamers {
+		resp, body := get(t, fmt.Sprintf("%s/v1/rtt?gamers=%d", preFront.URL, g))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fill gamers=%d: status %d", g, resp.StatusCode)
+		}
+		bodies[g] = body
+	}
+
+	// Warm join: bootstrap the fourth replica from the donors.
+	report, err := Bootstrap(ctx, BootstrapConfig{Replicas: joined, Target: warmURL})
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if report.Restored == 0 {
+		t.Fatalf("bootstrap restored nothing: %+v", report)
+	}
+	for _, d := range report.Donors {
+		if d.Err != "" {
+			t.Errorf("donor %s failed: %s", d.Donor, d.Err)
+		}
+	}
+
+	drive := func(front string) (hits int) {
+		for _, g := range gamers {
+			resp, body := get(t, fmt.Sprintf("%s/v1/rtt?gamers=%d", front, g))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("drive gamers=%d: status %d", g, resp.StatusCode)
+			}
+			if body != bodies[g] {
+				t.Errorf("gamers=%d: answer changed after the join:\nbefore: %s\nafter:  %s", g, bodies[g], body)
+			}
+			if resp.Header.Get(service.CacheHeader) == "hit" {
+				hits++
+			}
+		}
+		return hits
+	}
+
+	warmRouter, err := NewRouter(RouterConfig{Replicas: joined, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmFront := httptest.NewServer(warmRouter.Handler())
+	defer warmFront.Close()
+	if hits := drive(warmFront.URL); hits != len(gamers) {
+		t.Errorf("warm join: %d/%d first-pass hits, want all", hits, len(gamers))
+	}
+	if n := warmEng.Computes(); n != 0 {
+		t.Errorf("pre-seeded replica ran %d computations on its first pass, want 0", n)
+	}
+
+	// Cold-join control: same topology, no bootstrap — the joining replica
+	// must compute every re-homed key, which is exactly what warm join avoids.
+	coldDonors := make([]string, 3)
+	for i := range coldDonors {
+		_, coldDonors[i] = bootReplica(t)
+	}
+	coldEng, coldURL := bootReplica(t)
+	coldJoined := append(append([]string(nil), coldDonors...), coldURL)
+	coldRouter, err := NewRouter(RouterConfig{Replicas: coldJoined, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldFront := httptest.NewServer(coldRouter.Handler())
+	defer coldFront.Close()
+	for _, g := range gamers {
+		resp, _ := get(t, fmt.Sprintf("%s/v1/rtt?gamers=%d", coldFront.URL, g))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold drive gamers=%d: status %d", g, resp.StatusCode)
+		}
+	}
+	if coldEng.Computes() == 0 {
+		t.Skipf("cold control owned no keys (ring differs from test fixture)")
+	}
+	if warmEng.Computes() >= coldEng.Computes() {
+		t.Errorf("warm join computed %d, cold control %d — bootstrap gave no head start",
+			warmEng.Computes(), coldEng.Computes())
+	}
+}
+
+// TestBootstrapRejectsBadConfig covers the unusable-configuration paths.
+func TestBootstrapRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Bootstrap(ctx, BootstrapConfig{Replicas: []string{"http://a:1", "http://b:2"}, Target: "http://c:3"}); err == nil {
+		t.Error("target outside the replica set accepted")
+	}
+	if _, err := Bootstrap(ctx, BootstrapConfig{Replicas: []string{"http://a:1"}, Target: "http://a:1"}); err == nil {
+		t.Error("bootstrap with no donors accepted")
+	}
+	if _, err := Bootstrap(ctx, BootstrapConfig{Replicas: nil, Target: ""}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+// TestBootstrapSurvivesDeadDonor: a donor that cannot answer costs its
+// contribution, not the join.
+func TestBootstrapSurvivesDeadDonor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine end-to-end test")
+	}
+	ctx := context.Background()
+	_, donorURL := bootReplica(t)
+	// Fill the live donor directly.
+	for g := 60; g < 70; g++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/rtt?gamers=%d", donorURL, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refuse connections
+	_, targetURL := bootReplica(t)
+
+	report, err := Bootstrap(ctx, BootstrapConfig{
+		Replicas: []string{donorURL, dead.URL, targetURL},
+		Target:   targetURL,
+		Timeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Bootstrap with one dead donor failed outright: %v", err)
+	}
+	var deadErr, liveOK bool
+	for _, d := range report.Donors {
+		if d.Donor == dead.URL && d.Err != "" {
+			deadErr = true
+		}
+		if d.Donor == donorURL && d.Err == "" {
+			liveOK = true
+		}
+	}
+	if !deadErr || !liveOK {
+		t.Errorf("donor reports don't reflect the dead/live split: %+v", report.Donors)
+	}
+}

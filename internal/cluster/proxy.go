@@ -28,6 +28,10 @@ const ReplicaHeader = "X-Fpsping-Replica"
 // extract the scenario key and to replay the body on failover).
 const maxProxyBody = 4 << 20
 
+// maxReplicaBody bounds buffered replica responses. A variable so the
+// truncation regression test can lower it instead of serving 64 MB.
+var maxReplicaBody int64 = 64 << 20
+
 // RouterConfig parameterizes a Router.
 type RouterConfig struct {
 	// Replicas are the fpspingd base URLs ("http://host:port").
@@ -521,11 +525,17 @@ func (rt *Router) forwardOne(ctx context.Context, st *replicaState, method, path
 		st.inflight.Add(-1)
 		return forwardResult{}, err
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaBody+1))
 	resp.Body.Close()
 	st.inflight.Add(-1)
 	if err != nil {
 		return forwardResult{}, err
+	}
+	if int64(len(data)) > maxReplicaBody {
+		// Forwarding the first maxReplicaBody bytes as a complete body would
+		// hand the client a silently truncated answer; treat the oversized
+		// response as a transport failure so tryOrder fails over.
+		return forwardResult{}, fmt.Errorf("replica %s response over %d bytes", st.name, maxReplicaBody)
 	}
 	return forwardResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
 }
@@ -830,18 +840,37 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ep := range eps {
 		fmt.Fprintf(&b, "fpsping_cache_hits_total{endpoint=%q} %d\n", ep, rt.endpoints[ep].hits.Load())
 	}
-	// Router-native gauges and counters.
+	// Router-native gauges and counters. Per-replica families render in
+	// per-family loops (not one loop over replicas) so each family is a
+	// single contiguous block under its TYPE line, as strict Prometheus
+	// parsers require.
 	fmt.Fprintf(&b, "# TYPE fpsrouter_replicas gauge\nfpsrouter_replicas %d\n", len(rt.replicas))
-	fmt.Fprintf(&b, "fpsrouter_retries_total %d\n", rt.retries.Load())
-	fmt.Fprintf(&b, "fpsrouter_spills_total %d\n", rt.spills.Load())
-	fmt.Fprintf(&b, "fpsrouter_batch_splits_total %d\n", rt.splits.Load())
-	fmt.Fprintf(&b, "fpsrouter_no_replica_total %d\n", rt.noHome.Load())
+	fmt.Fprintf(&b, "# TYPE fpsrouter_retries_total counter\nfpsrouter_retries_total %d\n", rt.retries.Load())
+	fmt.Fprintf(&b, "# TYPE fpsrouter_spills_total counter\nfpsrouter_spills_total %d\n", rt.spills.Load())
+	fmt.Fprintf(&b, "# TYPE fpsrouter_batch_splits_total counter\nfpsrouter_batch_splits_total %d\n", rt.splits.Load())
+	fmt.Fprintf(&b, "# TYPE fpsrouter_no_replica_total counter\nfpsrouter_no_replica_total %d\n", rt.noHome.Load())
+	b.WriteString("# TYPE fpsrouter_replica_up gauge\n")
 	for _, st := range rt.replicas {
 		fmt.Fprintf(&b, "fpsrouter_replica_up{replica=%q} %d\n", st.name, boolGauge(st.alive.Load()))
+	}
+	b.WriteString("# TYPE fpsrouter_replica_ready gauge\n")
+	for _, st := range rt.replicas {
 		fmt.Fprintf(&b, "fpsrouter_replica_ready{replica=%q} %d\n", st.name, boolGauge(st.ready.Load()))
+	}
+	b.WriteString("# TYPE fpsrouter_replica_requests_total counter\n")
+	for _, st := range rt.replicas {
 		fmt.Fprintf(&b, "fpsrouter_replica_requests_total{replica=%q} %d\n", st.name, st.requests.Load())
+	}
+	b.WriteString("# TYPE fpsrouter_replica_errors_total counter\n")
+	for _, st := range rt.replicas {
 		fmt.Fprintf(&b, "fpsrouter_replica_errors_total{replica=%q} %d\n", st.name, st.errors.Load())
+	}
+	b.WriteString("# TYPE fpsrouter_replica_inflight gauge\n")
+	for _, st := range rt.replicas {
 		fmt.Fprintf(&b, "fpsrouter_replica_inflight{replica=%q} %d\n", st.name, st.inflight.Load())
+	}
+	b.WriteString("# TYPE fpsrouter_breaker_open gauge\n")
+	for _, st := range rt.replicas {
 		fmt.Fprintf(&b, "fpsrouter_breaker_open{replica=%q} %d\n", st.name, boolGauge(st.breaker.State(now) != "closed"))
 	}
 	io.WriteString(w, b.String())

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// oversizedReplica answers /v1/rtt with a body larger than the router's
+// replica-response cap.
+func oversizedReplica(t *testing.T, size int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(strings.Repeat("x", size)))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// capReplicaBody lowers the replica-response cap for the duration of the
+// test so an "oversized" body is kilobytes, not 64 MB.
+func capReplicaBody(t *testing.T, n int64) {
+	t.Helper()
+	old := maxReplicaBody
+	maxReplicaBody = n
+	t.Cleanup(func() { maxReplicaBody = old })
+}
+
+// TestRouterRejectsTruncatedReplicaBody pins the over-limit check in
+// forwardOne: a replica response at the cap used to be silently truncated
+// and forwarded as a complete body; it must instead be a transport error —
+// a 502 when no other replica can answer.
+func TestRouterRejectsTruncatedReplicaBody(t *testing.T) {
+	capReplicaBody(t, 4096)
+	big := oversizedReplica(t, int(maxReplicaBody)+100)
+	rt, err := NewRouter(RouterConfig{Replicas: []string{big.URL}, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, body := get(t, front.URL+"/v1/rtt?gamers=60")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("oversized replica body: status %d (len %d), want 502", resp.StatusCode, len(body))
+	}
+	if !strings.Contains(body, "over") {
+		t.Errorf("502 body does not name the over-limit cause: %s", body)
+	}
+}
+
+// TestRouterFailsOverOnTruncatedReplicaBody: the oversized answer must
+// trigger failover like any transport error, so a healthy peer's complete
+// body wins.
+func TestRouterFailsOverOnTruncatedReplicaBody(t *testing.T) {
+	capReplicaBody(t, 4096)
+	big := oversizedReplica(t, int(maxReplicaBody)+100)
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"replica":"good"}`))
+	}))
+	defer good.Close()
+
+	rt, err := NewRouter(RouterConfig{Replicas: []string{big.URL, good.URL}, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Find a scenario the oversized replica owns, so the failover path (not
+	// first-choice routing) is what produces the good answer.
+	gamers := -1
+	for g := 60; g < 600; g++ {
+		if rt.Ring().Owner(keyFor(t, g)) == 0 {
+			gamers = g
+			break
+		}
+	}
+	if gamers < 0 {
+		t.Fatal("no key owned by the oversized replica")
+	}
+	resp, body := get(t, fmt.Sprintf("%s/v1/rtt?gamers=%d", front.URL, gamers))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 via failover: %s", resp.StatusCode, body)
+	}
+	if body != `{"replica":"good"}` {
+		t.Errorf("unexpected failover body: %s", body)
+	}
+	if resp.Header.Get(ReplicaHeader) != good.URL {
+		t.Errorf("replica header %q, want the healthy peer", resp.Header.Get(ReplicaHeader))
+	}
+	if rt.retries.Load() == 0 {
+		t.Error("failover did not count a retry")
+	}
+}
+
+// TestRouterMetricsStrictFormat pins the TYPE-declaration fix on the
+// router's /metrics: every exposed family must carry a # TYPE line, and
+// every family's samples must form one contiguous block — the two
+// properties strict Prometheus parsers enforce by dropping violators.
+func TestRouterMetricsStrictFormat(t *testing.T) {
+	_, _, front := newTestCluster(t, 3, nil)
+	resp, body := get(t, front.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	typed := make(map[string]bool)
+	lastFamily := ""
+	closed := make(map[string]bool) // families whose block has ended
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+				continue
+			}
+			if typed[fields[2]] {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, fields[2])
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !typed[name] {
+			t.Errorf("line %d: sample %q has no TYPE declaration", ln+1, name)
+		}
+		if name != lastFamily {
+			if closed[name] {
+				t.Errorf("line %d: family %s reappears outside its block", ln+1, name)
+			}
+			if lastFamily != "" {
+				closed[lastFamily] = true
+			}
+			lastFamily = name
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package memo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// stringCodec snapshots string values verbatim; keys starting with "skip|"
+// are declined, modeling values (compiled pipelines) with no serialization.
+type stringCodec struct{}
+
+func (stringCodec) Encode(key, val string) ([]byte, bool, error) {
+	if strings.HasPrefix(key, "skip|") {
+		return nil, false, nil
+	}
+	return []byte(val), true, nil
+}
+
+func (stringCodec) Decode(key string, data []byte) (string, error) {
+	return string(data), nil
+}
+
+// recencyOrder lists one shard's keys front (most recently used) to back.
+func recencyOrder(c *Cache[string], shard int) []string {
+	s := &c.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[string]).key)
+	}
+	return out
+}
+
+// dump is the test shorthand for a buffer-backed Dump.
+func dump(t *testing.T, c *Cache[string], schema string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	st, err := c.Dump(&buf, schema, stringCodec{})
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if st.Bytes != int64(buf.Len()) {
+		t.Fatalf("DumpStats.Bytes %d, wrote %d", st.Bytes, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTrip is the headline property: Dump then Restore into an
+// identically configured empty cache reproduces every entry, every shard's
+// recency order, and leaves the lookup counters of both caches untouched.
+// Runs over several shapes including single-shard and eviction-churned.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		capacity, shards int
+		keys             int
+	}{
+		{"single-shard", 64, 1, 40},
+		{"sharded", 256, 8, 200},
+		{"evicting", 32, 4, 200}, // more keys than capacity: churn + evictions
+		{"tiny", 1, 1, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := New[string](tc.capacity, tc.shards)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < tc.keys; i++ {
+				src.Put(fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%03d", i))
+			}
+			// Shuffle recency with a burst of Gets so order differs from
+			// insertion order.
+			for i := 0; i < tc.keys; i++ {
+				src.Get(fmt.Sprintf("key-%03d", rng.Intn(tc.keys)))
+			}
+			statsBefore := src.Stats()
+
+			snap := dump(t, src, "schema-v1")
+			assertStatsEqual(t, "dump must not disturb counters", statsBefore, src.Stats())
+
+			dst := New[string](tc.capacity, tc.shards)
+			st, err := dst.Restore(bytes.NewReader(snap), "schema-v1", stringCodec{})
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if st.Restored != src.Len() || st.SkippedExisting != 0 || st.SkippedFull != 0 {
+				t.Fatalf("RestoreStats %+v, want %d restored and nothing skipped", st, src.Len())
+			}
+			if dst.Len() != src.Len() {
+				t.Fatalf("restored %d entries, want %d", dst.Len(), src.Len())
+			}
+			for sh := 0; sh < len(src.shards); sh++ {
+				srcOrder := recencyOrder(src, sh)
+				dstOrder := recencyOrder(dst, sh)
+				if fmt.Sprint(srcOrder) != fmt.Sprint(dstOrder) {
+					t.Fatalf("shard %d recency differs:\n src %v\n dst %v", sh, srcOrder, dstOrder)
+				}
+			}
+			for sh := range src.shards {
+				for _, key := range recencyOrder(src, sh) {
+					want, _ := src.Peek(key)
+					got, ok := dst.Peek(key)
+					if !ok || got != want {
+						t.Fatalf("key %q: restored %q (present %v), want %q", key, got, ok, want)
+					}
+				}
+			}
+			// Restore must not have counted hits, misses or evictions.
+			rs := dst.Stats()
+			if rs.Hits != 0 || rs.Misses != 0 || rs.Evictions != 0 {
+				t.Fatalf("restore distorted counters: %+v", rs)
+			}
+		})
+	}
+}
+
+func assertStatsEqual(t *testing.T, msg string, a, b Stats) {
+	t.Helper()
+	if a.Entries != b.Entries || a.Hits != b.Hits || a.Misses != b.Misses || a.Evictions != b.Evictions {
+		t.Fatalf("%s: %+v vs %+v", msg, a, b)
+	}
+}
+
+// TestSnapshotSkipsUncodableEntries pins the codec skip contract: entries
+// the codec declines are absent from the stream and counted, everything
+// else round-trips.
+func TestSnapshotSkipsUncodableEntries(t *testing.T) {
+	c := New[string](16, 2)
+	c.Put("skip|compiled", "not serializable")
+	c.Put("rtt|a", "1")
+	c.Put("rtt|b", "2")
+	var buf bytes.Buffer
+	st, err := c.Dump(&buf, "s", stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Skipped != 1 {
+		t.Fatalf("DumpStats %+v, want 2 entries 1 skipped", st)
+	}
+	dst := New[string](16, 2)
+	if _, err := dst.Restore(bytes.NewReader(buf.Bytes()), "s", stringCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dst.Peek("skip|compiled"); ok {
+		t.Fatal("skipped entry resurfaced after restore")
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("restored %d entries, want 2", dst.Len())
+	}
+}
+
+// TestRestoreNeverClobbers pins the warm-endpoint semantics: a key already
+// live keeps its (newer) value, restored entries rank behind every live
+// entry in recency, and a full shard skips archived entries instead of
+// evicting live ones.
+func TestRestoreNeverClobbers(t *testing.T) {
+	src := New[string](8, 1)
+	src.Put("a", "old-a")
+	src.Put("b", "old-b")
+	src.Put("c", "old-c")
+	snap := dump(t, src, "s")
+
+	dst := New[string](8, 1)
+	dst.Put("a", "new-a") // live entry predating the restore
+	st, err := dst.Restore(bytes.NewReader(snap), "s", stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 2 || st.SkippedExisting != 1 {
+		t.Fatalf("RestoreStats %+v, want 2 restored 1 existing", st)
+	}
+	if v, _ := dst.Peek("a"); v != "new-a" {
+		t.Fatalf("restore clobbered live entry: %q", v)
+	}
+	// Live "a" must outrank both archived entries; archived order (c newest,
+	// b older) must be preserved behind it.
+	if got := fmt.Sprint(recencyOrder(dst, 0)); got != "[a c b]" {
+		t.Fatalf("recency after mixed restore: %v", got)
+	}
+
+	full := New[string](2, 1)
+	full.Put("x", "live-x")
+	full.Put("y", "live-y")
+	st, err = full.Restore(bytes.NewReader(snap), "s", stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 0 || st.SkippedFull != 3 {
+		t.Fatalf("RestoreStats %+v, want everything skipped-full", st)
+	}
+	if full.Stats().Evictions != 0 {
+		t.Fatal("restore evicted a live entry")
+	}
+}
+
+// TestRestoreRejectsBadSnapshots drives every rejection path: corruption,
+// truncation, bad magic/version, schema mismatch, trailing garbage and
+// oversized length fields. Each must fail with the right sentinel and leave
+// the cache untouched — the "boot cold, never crash" contract.
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	src := New[string](16, 2)
+	for i := 0; i < 10; i++ {
+		src.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	good := dump(t, src, "schema-v1")
+
+	// fixCRC rewrites the trailing checksum so a mutation is tested on its
+	// own merits, not masked by the CRC gate.
+	fixCRC := func(b []byte) []byte {
+		body := b[:len(b)-4]
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(body))
+		return b
+	}
+	corrupt := func(mut func([]byte) []byte) []byte {
+		return mut(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrSnapshot},
+		{"short", good[:4], ErrSnapshot},
+		{"bad-magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return fixCRC(b) }), ErrSnapshot},
+		{"bad-version", corrupt(func(b []byte) []byte { b[7] = '9'; return fixCRC(b) }), ErrSnapshot},
+		{"flipped-byte", corrupt(func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }), ErrSnapshot},
+		{"truncated", good[:len(good)-9], ErrSnapshot},
+		{"trailing-garbage", corrupt(func(b []byte) []byte { return fixCRC(append(b, 0xde, 0xad, 0, 0)) }), ErrSnapshot},
+		{"schema-mismatch", good, ErrSchemaMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := New[string](16, 2)
+			schema := "schema-v1"
+			if tc.name == "schema-mismatch" {
+				schema = "schema-v2"
+			}
+			_, err := dst.Restore(bytes.NewReader(tc.data), schema, stringCodec{})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err %v, want %v", err, tc.want)
+			}
+			if dst.Len() != 0 {
+				t.Fatalf("rejected restore still applied %d entries", dst.Len())
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsCorruptionBeforeApplying flips every single byte of a
+// small snapshot in turn; no mutation may ever half-restore (a prefix of
+// entries applied then an error) — the cache is all-or-nothing.
+func TestRestoreRejectsCorruptionBeforeApplying(t *testing.T) {
+	src := New[string](8, 1)
+	src.Put("alpha", "1")
+	src.Put("beta", "2")
+	good := dump(t, src, "s")
+	for i := range good {
+		for _, flip := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= flip
+			dst := New[string](8, 1)
+			_, err := dst.Restore(bytes.NewReader(mut), "s", stringCodec{})
+			if err == nil {
+				// A flip confined to value bytes plus a colliding CRC is the
+				// only way this could legitimately succeed; CRC32 makes a
+				// single-bit collision impossible.
+				t.Fatalf("byte %d flip %#x: corrupt snapshot accepted", i, flip)
+			}
+			if dst.Len() != 0 {
+				t.Fatalf("byte %d flip %#x: half-restored %d entries", i, flip, dst.Len())
+			}
+		}
+	}
+}
+
+// TestSnapshotAcrossShardCounts: a snapshot restores into a cache with a
+// different shard count — keys rehash to their new shards, all entries land.
+func TestSnapshotAcrossShardCounts(t *testing.T) {
+	src := New[string](128, 8)
+	for i := 0; i < 100; i++ {
+		src.Put(fmt.Sprintf("key-%d", i), fmt.Sprintf("v%d", i))
+	}
+	snap := dump(t, src, "s")
+	// Destination capacity is doubled: a different shard count redistributes
+	// keys, and a shard whose slice of the capacity overflows would (by
+	// design) skip the excess rather than evict.
+	for _, shards := range []int{1, 2, 16} {
+		dst := New[string](256, shards)
+		st, err := dst.Restore(bytes.NewReader(snap), "s", stringCodec{})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if st.Restored != 100 || dst.Len() != 100 {
+			t.Fatalf("shards=%d: restored %d/%d", shards, st.Restored, dst.Len())
+		}
+	}
+}
+
+// TestFilterSnapshot pins the router-bootstrap primitive: filtering keeps
+// exactly the selected records (order preserved, schema passed through,
+// fresh checksum) without a codec, and the output is itself a valid
+// snapshot.
+func TestFilterSnapshot(t *testing.T) {
+	src := New[string](64, 4)
+	for i := 0; i < 20; i++ {
+		src.Put(fmt.Sprintf("key-%02d", i), fmt.Sprintf("v%d", i))
+	}
+	snap := dump(t, src, "schema-xyz")
+
+	var out bytes.Buffer
+	st, err := FilterSnapshot(bytes.NewReader(snap), &out, func(key string) bool {
+		return strings.HasSuffix(key, "0") // key-00, key-10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 2 || st.Dropped != 18 {
+		t.Fatalf("FilterStats %+v, want 2 kept 18 dropped", st)
+	}
+	dst := New[string](64, 4)
+	rst, err := dst.Restore(bytes.NewReader(out.Bytes()), "schema-xyz", stringCodec{})
+	if err != nil {
+		t.Fatalf("restoring filtered snapshot: %v", err)
+	}
+	if rst.Restored != 2 || dst.Len() != 2 {
+		t.Fatalf("filtered restore %+v len %d, want 2", rst, dst.Len())
+	}
+	for _, key := range []string{"key-00", "key-10"} {
+		if _, ok := dst.Peek(key); !ok {
+			t.Fatalf("filtered snapshot lost %q", key)
+		}
+	}
+	// Filtering a corrupt stream fails without writing records.
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)-1] ^= 0xff
+	var discard bytes.Buffer
+	if _, err := FilterSnapshot(bytes.NewReader(bad), &discard, func(string) bool { return true }); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("filter of corrupt snapshot: %v, want ErrSnapshot", err)
+	}
+}
+
+// TestSnapshotEmptyCache: dumping an empty cache yields a valid snapshot
+// that restores to nothing.
+func TestSnapshotEmptyCache(t *testing.T) {
+	snap := dump(t, New[string](16, 2), "s")
+	dst := New[string](16, 2)
+	st, err := dst.Restore(bytes.NewReader(snap), "s", stringCodec{})
+	if err != nil || st.Restored != 0 || dst.Len() != 0 {
+		t.Fatalf("empty round trip: stats %+v len %d err %v", st, dst.Len(), err)
+	}
+}

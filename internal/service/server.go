@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fpsping/internal/core"
+	"fpsping/internal/memo"
 	"fpsping/internal/scenario"
 	"fpsping/internal/traffic"
 )
@@ -22,6 +23,11 @@ import (
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
 // batch of a few thousand scenarios, far below this.
 const maxBodyBytes = 4 << 20
+
+// maxSnapshotBody bounds /v1/cache:warm uploads separately from the JSON
+// request cap: a snapshot of a well-filled cache is legitimately far larger
+// than any scenario batch.
+const maxSnapshotBody = 256 << 20
 
 // CacheHeader reports on every model endpoint whether the engine cache (or
 // a joined in-flight computation) answered: "hit" or "miss". The body is
@@ -74,6 +80,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("/v1/dimension", s.instrument("/v1/dimension", s.handleDimension))
 	mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("/v1/cache:dump", s.handleCacheDump)
+	mux.HandleFunc("/v1/cache:warm", s.handleCacheWarm)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -144,12 +152,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// errStatus maps model errors to HTTP statuses: invalid scenarios are the
-// client's fault (400), unstable ones are valid questions with a negative
-// answer (422), anything else is a server error.
+// errStatus maps model errors to HTTP statuses: invalid scenarios and
+// unusable snapshots are the client's fault (400), unstable scenarios are
+// valid questions with a negative answer (422), anything else is a server
+// error.
 func errStatus(err error) int {
 	switch {
-	case errors.Is(err, core.ErrBadModel), errors.Is(err, errBadRequest):
+	case errors.Is(err, core.ErrBadModel), errors.Is(err, errBadRequest),
+		errors.Is(err, memo.ErrSnapshot), errors.Is(err, memo.ErrSchemaMismatch):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrUnstable):
 		return http.StatusUnprocessableEntity
@@ -437,6 +447,61 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) (bool, err
 	return false, nil
 }
 
+// handleCacheDump streams a snapshot of the memo cache (see memo.Dump for
+// the wire format). The snapshot is buffered before the first byte hits the
+// wire so an encoding failure can still surface as a 500 instead of a
+// truncated 200.
+func (s *Server) handleCacheDump(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "use GET"})
+		return
+	}
+	var buf bytes.Buffer
+	st, err := s.engine.DumpCache(&buf)
+	if err != nil {
+		writeJSON(w, errStatus(err), apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-Fpsping-Snapshot-Entries", strconv.Itoa(st.Entries))
+	w.Write(buf.Bytes())
+}
+
+// WarmResult answers /v1/cache:warm: what the restore did, plus the cache
+// occupancy after it.
+type WarmResult struct {
+	Restored        int `json:"restored"`
+	SkippedExisting int `json:"skipped_existing"`
+	SkippedFull     int `json:"skipped_full"`
+	CacheEntries    int `json:"cache_entries"`
+}
+
+// handleCacheWarm restores an uploaded snapshot under never-clobber
+// semantics: live entries win, full shards skip rather than evict, and a
+// corrupt or schema-mismatched snapshot is rejected whole (400) with the
+// cache untouched.
+func (s *Server) handleCacheWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "use POST"})
+		return
+	}
+	defer r.Body.Close()
+	st, err := s.engine.WarmCache(io.LimitReader(r.Body, maxSnapshotBody))
+	if err != nil {
+		writeJSON(w, errStatus(err), apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, WarmResult{
+		Restored:        st.Restored,
+		SkippedExisting: st.SkippedExisting,
+		SkippedFull:     st.SkippedFull,
+		CacheEntries:    s.engine.CacheDetail().Entries,
+	})
+}
+
 // Health answers /healthz: liveness plus the cache and compute counters
 // that tell an operator (or load generator) how hard the engine is working.
 type Health struct {
@@ -499,9 +564,10 @@ func (s *Server) writeCacheMetrics(w io.Writer) {
 	st := s.engine.CacheDetail()
 	fmt.Fprintf(w, "# TYPE fpsping_cache_shards gauge\nfpsping_cache_shards %d\n", len(st.Shards))
 	fmt.Fprintf(w, "# TYPE fpsping_cache_entries gauge\nfpsping_cache_entries %d\n", st.Entries)
-	fmt.Fprintf(w, "fpsping_cache_lookup_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "fpsping_cache_lookup_misses_total %d\n", st.Misses)
-	fmt.Fprintf(w, "fpsping_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "# TYPE fpsping_cache_lookup_hits_total counter\nfpsping_cache_lookup_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "# TYPE fpsping_cache_lookup_misses_total counter\nfpsping_cache_lookup_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "# TYPE fpsping_cache_evictions_total counter\nfpsping_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "# TYPE fpsping_cache_shard_entries gauge\n")
 	for i, sh := range st.Shards {
 		fmt.Fprintf(w, "fpsping_cache_shard_entries{shard=\"%d\"} %d\n", i, sh.Entries)
 	}

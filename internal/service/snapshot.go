@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"fpsping/internal/memo"
+	"fpsping/internal/scenario"
+)
+
+// cacheSchemaVersion is the manual component of the snapshot schema key.
+// Bump it whenever a change alters what cached values mean or how they are
+// encoded (a new RTTResult field, a different pointMemo layout, a model fix
+// that shifts numbers) without necessarily changing the VCS revision — e.g.
+// during local iteration. VCS-stamped builds are additionally keyed by
+// revision, so released binaries invalidate snapshots on any code change.
+const cacheSchemaVersion = 1
+
+// SchemaKey returns the build-stamped schema string every snapshot this
+// binary writes is keyed by, and the only schema it accepts back. It folds
+// in the snapshot codec version, the Go toolchain and the VCS revision
+// (plus a dirty marker), so a binary with changed model code rejects stale
+// snapshots instead of serving answers the current code would not compute.
+// Builds without VCS stamping (go test, go run from a plain directory)
+// share the "dev" stamp — fine for tests, which compare within one build.
+func SchemaKey() string { return schemaKey() }
+
+var schemaKey = sync.OnceValue(func() string {
+	rev := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var vcsRev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				vcsRev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if vcsRev != "" {
+			rev = vcsRev + dirty
+		} else if bi.Main.Sum != "" {
+			rev = bi.Main.Sum
+		}
+	}
+	return fmt.Sprintf("fpsping-cache|v%d|%s|%s", cacheSchemaVersion, runtime.Version(), rev)
+})
+
+// pointSnapshot is pointMemo's wire form: the compiled pipeline is dropped
+// (it has no serialization and is cheap to re-derive on demand), the
+// bit-exact seconds and the unstable marker are kept.
+type pointSnapshot struct {
+	Gamers   float64 `json:"gamers"`
+	RTT      float64 `json:"rtt"`
+	Unstable bool    `json:"unstable,omitempty"`
+}
+
+// engineCodec translates the engine's memo entries to snapshot records,
+// dispatching on the memo key prefix. Every value is JSON: encoding/json
+// round-trips float64 bit-exactly (shortest-representation printing), so a
+// restored entry re-marshals to the byte-identical response a live entry
+// would produce. Unknown prefixes are skipped on dump (forward compatible
+// with new key spaces) and rejected on restore (a same-schema snapshot
+// cannot contain them).
+type engineCodec struct{}
+
+func (engineCodec) Encode(key string, val any) ([]byte, bool, error) {
+	switch {
+	case strings.HasPrefix(key, "rtt|"):
+		if v, ok := val.(RTTResult); ok {
+			data, err := json.Marshal(v)
+			return data, err == nil, err
+		}
+	case strings.HasPrefix(key, "pt|"):
+		if v, ok := val.(pointMemo); ok {
+			data, err := json.Marshal(pointSnapshot{Gamers: v.Gamers, RTT: v.RTT, Unstable: v.Unstable})
+			return data, err == nil, err
+		}
+	case strings.HasPrefix(key, "sweep|"):
+		if v, ok := val.(SweepResult); ok {
+			data, err := json.Marshal(v)
+			return data, err == nil, err
+		}
+	case strings.HasPrefix(key, "dim|"):
+		if v, ok := val.(DimensionResult); ok {
+			data, err := json.Marshal(v)
+			return data, err == nil, err
+		}
+	}
+	return nil, false, nil
+}
+
+func (engineCodec) Decode(key string, data []byte) (any, error) {
+	strict := func(v any) error {
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		return dec.Decode(v)
+	}
+	switch {
+	case strings.HasPrefix(key, "rtt|"):
+		var v RTTResult
+		return v, strict(&v)
+	case strings.HasPrefix(key, "pt|"):
+		var ps pointSnapshot
+		if err := strict(&ps); err != nil {
+			return nil, err
+		}
+		return pointMemo{Gamers: ps.Gamers, RTT: ps.RTT, Unstable: ps.Unstable}, nil
+	case strings.HasPrefix(key, "sweep|"):
+		var v SweepResult
+		return v, strict(&v)
+	case strings.HasPrefix(key, "dim|"):
+		var v DimensionResult
+		return v, strict(&v)
+	}
+	return nil, fmt.Errorf("unknown memo key space %q", key)
+}
+
+// DumpCache streams a snapshot of the engine's memo cache: every entry the
+// codec can persist (RTT answers, sweep grids, dimensionings and the shared
+// point memo; compiled pipelines are skipped and re-derived), versioned,
+// checksummed and keyed by SchemaKey.
+func (e *Engine) DumpCache(w io.Writer) (memo.DumpStats, error) {
+	return e.cache.Dump(w, SchemaKey(), engineCodec{})
+}
+
+// WarmCache restores a snapshot into the engine's memo cache under
+// never-clobber semantics: entries already live (newer) win, and a full
+// shard skips archived entries rather than evicting live ones. A snapshot
+// from a different schema (changed model code) is rejected whole with
+// memo.ErrSchemaMismatch; a corrupt one with memo.ErrSnapshot. Either way
+// the cache is untouched on error.
+func (e *Engine) WarmCache(r io.Reader) (memo.RestoreStats, error) {
+	return e.cache.Restore(r, SchemaKey(), engineCodec{})
+}
+
+// canonicalSegments is the number of '|'-separated segments in one
+// canonical scenario key, derived from the scenario package itself so this
+// parser can never drift from the key format.
+var canonicalSegments = sync.OnceValue(func() int {
+	return len(strings.Split(scenario.Default().Canonical(), "|"))
+})
+
+// ScenarioKeyOf extracts the canonical scenario key from an engine memo key
+// ("rtt|<canonical>", "pt|<canonical>", "sweep|<canonical>|from|to|step",
+// "dim|<canonical>|bound"). ok=false means the key belongs to no known
+// scenario-keyed space. The cluster router's bootstrap uses this to decide
+// which snapshot records a replica owns under the hash ring, which routes
+// requests by exactly this canonical key.
+func ScenarioKeyOf(memoKey string) (key string, ok bool) {
+	i := strings.IndexByte(memoKey, '|')
+	if i < 0 {
+		return "", false
+	}
+	switch memoKey[:i+1] {
+	case "rtt|", "pt|", "sweep|", "dim|":
+	default:
+		return "", false
+	}
+	rest := memoKey[i+1:]
+	parts := strings.SplitN(rest, "|", canonicalSegments()+1)
+	if len(parts) < canonicalSegments() {
+		return "", false
+	}
+	return strings.Join(parts[:canonicalSegments()], "|"), true
+}

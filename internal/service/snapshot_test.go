@@ -1,0 +1,297 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fpsping/internal/scenario"
+)
+
+// warmPaths is the request set the warm-restart tests replay: one per
+// cached key space (RTT point, batch shares rtt keys, sweep, dimension).
+var warmPaths = []string{
+	"/v1/rtt?load=0.3",
+	"/v1/rtt?load=0.55&gamers=12",
+	"/v1/sweep?from=0.1&to=0.3&step=0.1",
+	"/v1/dimension?bound=60",
+}
+
+// fill replays warmPaths against ts and returns the response bodies.
+func fill(t *testing.T, url string) map[string][]byte {
+	t.Helper()
+	bodies := make(map[string][]byte)
+	for _, p := range warmPaths {
+		resp, body := do(t, http.MethodGet, url+p, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", p, resp.StatusCode, body)
+		}
+		bodies[p] = body
+	}
+	return bodies
+}
+
+// dumpCache fetches /v1/cache:dump and returns the snapshot bytes.
+func dumpCache(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, snap := do(t, http.MethodGet, url+"/v1/cache:dump", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache:dump status %d: %s", resp.StatusCode, snap)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("cache:dump content type %q", ct)
+	}
+	if resp.Header.Get("X-Fpsping-Snapshot-Entries") == "" {
+		t.Errorf("cache:dump missing entry-count header")
+	}
+	return snap
+}
+
+func warmCache(t *testing.T, url string, snap []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/cache:warm", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestWarmRestartByteIdentical is the correctness gate of the snapshot
+// feature: a fresh engine warmed from another's dump answers the donor's
+// key set byte-identically, every answer a cache hit, with zero model
+// computations.
+func TestWarmRestartByteIdentical(t *testing.T) {
+	_, cold := newTestServer(t, 2)
+	want := fill(t, cold.URL)
+	snap := dumpCache(t, cold.URL)
+
+	warmSrv, warm := newTestServer(t, 2)
+	resp, body := warmCache(t, warm.URL, snap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache:warm status %d: %s", resp.StatusCode, body)
+	}
+	var res WarmResult
+	if err := strictUnmarshal(body, &res); err != nil {
+		t.Fatalf("warm result: %v", err)
+	}
+	if res.Restored == 0 || res.CacheEntries != res.Restored {
+		t.Fatalf("implausible warm result: %+v", res)
+	}
+
+	for _, p := range warmPaths {
+		resp, got := do(t, http.MethodGet, warm.URL+p, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm GET %s: status %d: %s", p, resp.StatusCode, got)
+		}
+		if h := resp.Header.Get(CacheHeader); h != "hit" {
+			t.Errorf("warm GET %s: cache header %q, want hit", p, h)
+		}
+		if !bytes.Equal(got, want[p]) {
+			t.Errorf("warm GET %s differs from cold:\ncold: %s\nwarm: %s", p, want[p], got)
+		}
+	}
+	if n := warmSrv.engine.Computes(); n != 0 {
+		t.Errorf("warm engine ran %d computations, want 0", n)
+	}
+}
+
+// TestCacheWarmNeverClobbers: entries already live in the target cache win
+// over archived ones, and warming is additive — it never perturbs answers
+// the target has already computed.
+func TestCacheWarmNeverClobbers(t *testing.T) {
+	_, donor := newTestServer(t, 1)
+	fill(t, donor.URL)
+	snap := dumpCache(t, donor.URL)
+
+	tgtSrv, tgt := newTestServer(t, 1)
+	resp, live := do(t, http.MethodGet, tgt.URL+warmPaths[0], "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-warm GET: %d", resp.StatusCode)
+	}
+	before := tgtSrv.engine.Computes()
+
+	wresp, wbody := warmCache(t, tgt.URL, snap)
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("cache:warm status %d: %s", wresp.StatusCode, wbody)
+	}
+	var res WarmResult
+	if err := strictUnmarshal(wbody, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedExisting == 0 {
+		t.Errorf("expected live entries to be skipped, got %+v", res)
+	}
+
+	resp, after := do(t, http.MethodGet, tgt.URL+warmPaths[0], "")
+	if h := resp.Header.Get(CacheHeader); h != "hit" {
+		t.Errorf("post-warm cache header %q", h)
+	}
+	if !bytes.Equal(live, after) {
+		t.Errorf("warming changed a live answer:\nbefore: %s\nafter:  %s", live, after)
+	}
+	if n := tgtSrv.engine.Computes(); n != before {
+		t.Errorf("warming caused %d extra computations", n-before)
+	}
+}
+
+// TestCacheWarmRejectsBadSnapshots: schema-mismatched, corrupt and
+// truncated uploads are 400s and leave the cache untouched — the daemon
+// keeps serving cold.
+func TestCacheWarmRejectsBadSnapshots(t *testing.T) {
+	donorSrv, donor := newTestServer(t, 1)
+	fill(t, donor.URL)
+	good := dumpCache(t, donor.URL)
+
+	var mismatched bytes.Buffer
+	if _, err := donorSrv.engine.cache.Dump(&mismatched, "fpsping-cache|v0|other-build", engineCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.Clone(good)
+	corrupt[len(corrupt)/2] ^= 0x40
+
+	cases := []struct {
+		name string
+		snap []byte
+	}{
+		{"schema mismatch", mismatched.Bytes()},
+		{"corrupt", corrupt},
+		{"truncated", good[:len(good)-7]},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, ts := newTestServer(t, 1)
+			resp, body := warmCache(t, ts.URL, tc.snap)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+			if n := srv.engine.CacheDetail().Entries; n != 0 {
+				t.Errorf("rejected snapshot left %d cache entries", n)
+			}
+			// Still serves, cold.
+			resp, _ = do(t, http.MethodGet, ts.URL+warmPaths[0], "")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("daemon broken after rejected warm: %d", resp.StatusCode)
+			}
+			if h := resp.Header.Get(CacheHeader); h != "miss" {
+				t.Errorf("cache header %q after rejected warm, want miss", h)
+			}
+		})
+	}
+}
+
+func TestCacheEndpointMethods(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	if resp, _ := do(t, http.MethodPost, ts.URL+"/v1/cache:dump", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST cache:dump status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/v1/cache:warm", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET cache:warm status %d", resp.StatusCode)
+	}
+}
+
+func TestScenarioKeyOf(t *testing.T) {
+	c := scenario.Default().Canonical()
+	cases := []struct {
+		key    string
+		want   string
+		wantOK bool
+	}{
+		{"rtt|" + c, c, true},
+		{"pt|" + c, c, true},
+		{"sweep|" + c + "|0.05|0.9|0.05", c, true},
+		{"dim|" + c + "|50", c, true},
+		{"bogus|" + c, "", false},
+		{"noseparator", "", false},
+		{"rtt|too|short", "", false},
+	}
+	for _, tc := range cases {
+		got, ok := ScenarioKeyOf(tc.key)
+		if got != tc.want || ok != tc.wantOK {
+			t.Errorf("ScenarioKeyOf(%q) = %q, %v; want %q, %v", tc.key, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
+// TestCacheMetricsFormat pins the Prometheus text-format fix: every cache
+// family carries a # TYPE declaration of the right kind, with its samples
+// directly (and contiguously) after it, so strict parsers keep them.
+func TestCacheMetricsFormat(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	fill(t, ts.URL)
+	resp, body := do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	assertCacheMetricTypes(t, string(body), "fpsping")
+}
+
+// assertCacheMetricTypes validates the cache family block of a daemon-
+// dialect metrics page with the given prefix ("fpsping" on the daemon; the
+// router re-exports the same dialect).
+func assertCacheMetricTypes(t *testing.T, text, prefix string) {
+	t.Helper()
+	families := map[string]string{
+		prefix + "_cache_shards":              "gauge",
+		prefix + "_cache_entries":             "gauge",
+		prefix + "_cache_lookup_hits_total":   "counter",
+		prefix + "_cache_lookup_misses_total": "counter",
+		prefix + "_cache_evictions_total":     "counter",
+		prefix + "_cache_shard_entries":       "gauge",
+	}
+	lines := strings.Split(text, "\n")
+	seen := make(map[string]bool)
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Errorf("malformed TYPE line %q", line)
+			continue
+		}
+		name, kind := fields[2], fields[3]
+		wantKind, ours := families[name]
+		if !ours {
+			continue
+		}
+		seen[name] = true
+		if kind != wantKind {
+			t.Errorf("family %s declared %s, want %s", name, kind, wantKind)
+		}
+		// Samples must follow the TYPE line contiguously.
+		n := 0
+		for j := i + 1; j < len(lines); j++ {
+			rest := strings.TrimPrefix(lines[j], name)
+			if rest == lines[j] || (rest != "" && rest[0] != ' ' && rest[0] != '{') {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			t.Errorf("family %s has no samples after its TYPE line", name)
+		}
+		// And never reappear later in the page (Prometheus requires one
+		// contiguous block per family).
+		for j := i + 1 + n; j < len(lines); j++ {
+			rest := strings.TrimPrefix(lines[j], name)
+			if rest != lines[j] && rest != "" && (rest[0] == ' ' || rest[0] == '{') {
+				t.Errorf("family %s has samples outside its block (line %d)", name, j+1)
+			}
+		}
+	}
+	for name := range families {
+		if !seen[name] {
+			t.Errorf("family %s has no TYPE declaration", name)
+		}
+	}
+}
