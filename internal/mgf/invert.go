@@ -93,15 +93,21 @@ func invertTail(tail func(float64) float64, tailBatch func(xs, out []float64), m
 	vloOK := false
 	v0 := tail(rung(j0))
 	if v0 > target {
-		// Walk up to the first rung at or under the target. The first probe
-		// past j0 is single (warm walks usually stop there); from then on a
-		// batch evaluator probes two rungs per call — a long cold walk pays
-		// the per-probe setup half as often, and a pair straddling the
-		// canonical k supplies both bracket endpoints in one call.
+		// Walk up to the first rung at or under the target. On a warm walk
+		// the first probe past j0 is single (the hint usually lands one rung
+		// under the answer, so the walk stops there); a cold walk has no such
+		// expectation and batches from its first step. From then on a batch
+		// evaluator probes two rungs per call — a long walk pays the
+		// per-probe setup half as often, a pair straddling the canonical k
+		// supplies both bracket endpoints in one call, and under a shared
+		// quadrature ladder the pair extends the grid prefix once for both
+		// rungs. Batched values equal single-probe values bit for bit, so
+		// pairing changes only cost.
+		cold := hint == nil || !hint.ok
 		prev := v0
 		j := j0 + 1
 		for j <= maxDoubling {
-			if tailBatch != nil && j > j0+1 && j < maxDoubling {
+			if tailBatch != nil && (j > j0+1 || cold) && j < maxDoubling {
 				var xs, vs [2]float64
 				xs[0], xs[1] = rung(j), rung(j+1)
 				tailBatch(xs[:], vs[:])

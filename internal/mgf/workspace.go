@@ -16,6 +16,11 @@ type Workspace struct {
 	// complex accumulation is componentwise, so the grids hold the real
 	// components alone (see gridPDF).
 	pdf, tail []float64
+	// lad is the shared-grid quadrature ladder, tagged by a per-law
+	// fingerprint: a workspace reused across laws (a load sweep, a
+	// dimensioning bisection) rebuilds it exactly when the law changes
+	// (see ladder.go).
+	lad ladder
 }
 
 // cbuf returns a zeroed complex scratch slice of length n, growing buf as
